@@ -1,0 +1,374 @@
+package mead
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"mead/internal/cdr"
+	"mead/internal/giop"
+)
+
+// benchScenario is the compressed workload used by the table/figure
+// benches: ~60 ms of paced client traffic per iteration, with the leak
+// crossing thresholds gradually as in the paper.
+func benchScenario(scheme Scheme) Scenario {
+	return Scenario{
+		Scheme:      scheme,
+		Invocations: 600,
+		Period:      100 * time.Microsecond,
+		InjectFault: true,
+		Fault: FaultConfig{
+			Tick:      time.Millisecond,
+			ChunkUnit: 16,
+			Seed:      2004,
+		},
+		RestartDelay:    20 * time.Millisecond,
+		ProactiveDelay:  5 * time.Millisecond,
+		CheckpointEvery: 10 * time.Millisecond,
+		QueryTimeout:    20 * time.Millisecond,
+	}
+}
+
+// runScheme drives one scenario per iteration and reports the Table 1
+// metrics for the scheme.
+func runScheme(b *testing.B, scheme Scheme) {
+	b.Helper()
+	var (
+		steadyUS   float64
+		failoverMS float64
+		clientPct  float64
+		serverFail float64
+		bwBps      float64
+	)
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(scheme)
+		sc.Seed += int64(i)
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steadyUS += float64(res.MeanSteadyRTT()) / float64(time.Microsecond)
+		failoverMS += float64(res.MeanFailoverTime()) / float64(time.Millisecond)
+		clientPct += res.ClientFailurePct()
+		serverFail += float64(res.ServerFailures)
+		bwBps += res.BandwidthBytesPerSec()
+	}
+	n := float64(b.N)
+	b.ReportMetric(steadyUS/n, "rtt_us")
+	b.ReportMetric(failoverMS/n, "failover_ms")
+	b.ReportMetric(clientPct/n, "client_fail_pct")
+	b.ReportMetric(serverFail/n, "server_failures")
+	b.ReportMetric(bwBps/n, "group_Bps")
+}
+
+// Table 1 — one bench per recovery strategy (rows of the paper's table).
+
+func BenchmarkTable1_ReactiveNoCache(b *testing.B) { runScheme(b, ReactiveNoCache) }
+func BenchmarkTable1_ReactiveCache(b *testing.B)   { runScheme(b, ReactiveCache) }
+func BenchmarkTable1_NeedsAddressing(b *testing.B) { runScheme(b, NeedsAddressing) }
+func BenchmarkTable1_LocationForward(b *testing.B) { runScheme(b, LocationForward) }
+func BenchmarkTable1_MeadMessage(b *testing.B)     { runScheme(b, MeadMessage) }
+
+// Figure 3 — RTT-versus-invocation series for the two reactive schemes;
+// the jitter metrics summarize the spike structure the figure plots.
+
+func runSeriesBench(b *testing.B, scheme Scheme) {
+	b.Helper()
+	var outlierPct, maxSpikeMS, failovers float64
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(scheme)
+		sc.Seed += int64(i)
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		j := res.Jitter()
+		outlierPct += 100 * j.Fraction
+		maxSpikeMS += float64(j.MaxSpike) / float64(time.Millisecond)
+		failovers += float64(len(res.Failovers))
+	}
+	n := float64(b.N)
+	b.ReportMetric(outlierPct/n, "outlier_pct")
+	b.ReportMetric(maxSpikeMS/n, "max_spike_ms")
+	b.ReportMetric(failovers/n, "failovers")
+}
+
+func BenchmarkFigure3_ReactiveNoCache(b *testing.B) { runSeriesBench(b, ReactiveNoCache) }
+func BenchmarkFigure3_ReactiveCache(b *testing.B)   { runSeriesBench(b, ReactiveCache) }
+
+// Figure 4 — RTT series for the three proactive schemes.
+
+func BenchmarkFigure4_NeedsAddressing(b *testing.B) { runSeriesBench(b, NeedsAddressing) }
+func BenchmarkFigure4_LocationForward(b *testing.B) { runSeriesBench(b, LocationForward) }
+func BenchmarkFigure4_MeadMessage(b *testing.B)     { runSeriesBench(b, MeadMessage) }
+
+// Figure 5 — group-communication bandwidth versus rejuvenation threshold
+// for the two proactive schemes.
+
+func runThresholdBench(b *testing.B, scheme Scheme, threshold float64) {
+	b.Helper()
+	var bwBps, restarts float64
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(scheme)
+		sc.Seed += int64(i)
+		sc.Threshold = threshold
+		sc.LaunchThreshold = 0.75 * threshold
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bwBps += res.BandwidthBytesPerSec()
+		restarts += float64(res.ServerFailures)
+	}
+	n := float64(b.N)
+	b.ReportMetric(bwBps/n, "group_Bps")
+	b.ReportMetric(restarts/n, "restarts")
+}
+
+func BenchmarkFigure5_LocationForward_T20(b *testing.B) { runThresholdBench(b, LocationForward, 0.2) }
+func BenchmarkFigure5_LocationForward_T40(b *testing.B) { runThresholdBench(b, LocationForward, 0.4) }
+func BenchmarkFigure5_LocationForward_T60(b *testing.B) { runThresholdBench(b, LocationForward, 0.6) }
+func BenchmarkFigure5_LocationForward_T80(b *testing.B) { runThresholdBench(b, LocationForward, 0.8) }
+func BenchmarkFigure5_MeadMessage_T20(b *testing.B)     { runThresholdBench(b, MeadMessage, 0.2) }
+func BenchmarkFigure5_MeadMessage_T40(b *testing.B)     { runThresholdBench(b, MeadMessage, 0.4) }
+func BenchmarkFigure5_MeadMessage_T60(b *testing.B)     { runThresholdBench(b, MeadMessage, 0.6) }
+func BenchmarkFigure5_MeadMessage_T80(b *testing.B)     { runThresholdBench(b, MeadMessage, 0.8) }
+
+// Section 5.2.5 — jitter baseline without fault injection.
+
+func BenchmarkJitter_FaultFree(b *testing.B) {
+	var outlierPct, maxSpikeMS float64
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(ReactiveNoCache)
+		sc.Seed += int64(i)
+		res, err := RunFaultFree(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		j := res.Jitter()
+		outlierPct += 100 * j.Fraction
+		maxSpikeMS += float64(j.MaxSpike) / float64(time.Millisecond)
+	}
+	n := float64(b.N)
+	b.ReportMetric(outlierPct/n, "outlier_pct")
+	b.ReportMetric(maxSpikeMS/n, "max_spike_ms")
+}
+
+// Ablation benches (DESIGN.md §6): the design choices the paper calls out.
+
+// BenchmarkAblation_ObjectKeyHash16 measures the paper's 16-bit hash lookup
+// against the byte-by-byte key comparison it replaced ("as opposed to a
+// byte-by-byte comparison of the object key, which was typically 52 bytes").
+func BenchmarkAblation_ObjectKeyHash16(b *testing.B) {
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = giop.MakeObjectKey("timeofday", fmt.Sprintf("obj-%d", i))
+	}
+	table := make(map[uint16]int, len(keys))
+	for i, k := range keys {
+		table[giop.Hash16(k)] = i
+	}
+	needle := keys[37]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := table[giop.Hash16(needle)]; !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkAblation_ObjectKeyByteCompare(b *testing.B) {
+	keys := make([][]byte, 64)
+	for i := range keys {
+		keys[i] = giop.MakeObjectKey("timeofday", fmt.Sprintf("obj-%d", i))
+	}
+	needle := keys[37]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found := -1
+		for j, k := range keys {
+			if bytes.Equal(k, needle) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkAblation_RequestParse contrasts the per-request costs behind the
+// schemes' overheads: the LOCATION_FORWARD scheme's full request parse
+// versus the NEEDS_ADDRESSING scheme's request-id-only parse versus the
+// MEAD scheme's frame-type check (no parse at all).
+func BenchmarkAblation_RequestParse_Full(b *testing.B) {
+	msg := giop.EncodeRequest(cdr.BigEndian, giop.RequestHeader{
+		RequestID:        42,
+		ResponseExpected: true,
+		ObjectKey:        giop.MakeObjectKey("timeofday", "clock"),
+		Operation:        "time_of_day",
+	}, nil)
+	body := msg[giop.HeaderLen:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := giop.DecodeRequest(cdr.BigEndian, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_RequestParse_IDOnly(b *testing.B) {
+	msg := giop.EncodeRequest(cdr.BigEndian, giop.RequestHeader{
+		RequestID:        42,
+		ResponseExpected: true,
+		ObjectKey:        giop.MakeObjectKey("timeofday", "clock"),
+		Operation:        "time_of_day",
+	}, nil)
+	body := msg[giop.HeaderLen:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := giop.RequestIDOf(cdr.BigEndian, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_RequestParse_MagicOnly(b *testing.B) {
+	msg := giop.EncodeRequest(cdr.BigEndian, giop.RequestHeader{RequestID: 42}, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := giop.ParseHeader(msg[:giop.HeaderLen]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Protocol micro-benches: the marshalling costs under everything else.
+
+func BenchmarkGIOPRequestEncode(b *testing.B) {
+	hdr := giop.RequestHeader{
+		RequestID:        1,
+		ResponseExpected: true,
+		ObjectKey:        giop.MakeObjectKey("timeofday", "clock"),
+		Operation:        "time_of_day",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = giop.EncodeRequest(cdr.BigEndian, hdr, nil)
+	}
+}
+
+func BenchmarkIORStringRoundTrip(b *testing.B) {
+	ior := giop.NewIOR("IDL:mead/TimeOfDay:1.0", "127.0.0.1", 40001,
+		giop.MakeObjectKey("timeofday", "clock"))
+	s := ior.String()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := giop.ParseIOR(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_EventDrivenMonitoring vs _TimerDrivenMonitoring compare
+// the paper's chosen event-driven (write-path) threshold checking against
+// the timer-driven design it rejected, under identical faulty workloads.
+func runMonitoringAblation(b *testing.B, interval time.Duration) {
+	b.Helper()
+	var steadyUS, outlierPct float64
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(MeadMessage)
+		sc.Seed += int64(i)
+		sc.MonitorInterval = interval
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steadyUS += float64(res.MeanSteadyRTT()) / float64(time.Microsecond)
+		outlierPct += 100 * res.Jitter().Fraction
+	}
+	n := float64(b.N)
+	b.ReportMetric(steadyUS/n, "rtt_us")
+	b.ReportMetric(outlierPct/n, "outlier_pct")
+}
+
+func BenchmarkAblation_EventDrivenMonitoring(b *testing.B) {
+	runMonitoringAblation(b, 0)
+}
+
+func BenchmarkAblation_TimerDrivenMonitoring(b *testing.B) {
+	runMonitoringAblation(b, time.Millisecond)
+}
+
+// BenchmarkAblation_AdaptiveThresholds measures the future-work extension
+// against the preset-threshold configuration.
+func BenchmarkAblation_AdaptiveThresholds(b *testing.B) {
+	var failoverMS, clientPct float64
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(MeadMessage)
+		sc.Seed += int64(i)
+		sc.AdaptiveLeadTime = 5 * time.Millisecond
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		failoverMS += float64(res.MeanFailoverTime()) / float64(time.Millisecond)
+		clientPct += res.ClientFailurePct()
+	}
+	n := float64(b.N)
+	b.ReportMetric(failoverMS/n, "failover_ms")
+	b.ReportMetric(clientPct/n, "client_fail_pct")
+}
+
+// BenchmarkMultiClient_MeadMessage exercises "the migration of all its
+// current clients": four concurrent clients handed off per rejuvenation.
+func BenchmarkMultiClient_MeadMessage(b *testing.B) {
+	var clientPct, totalFailovers float64
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(MeadMessage)
+		sc.Seed += int64(i)
+		sc.Clients = 4
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clientPct += res.ClientFailurePct()
+		totalFailovers += float64(res.TotalFailovers)
+	}
+	n := float64(b.N)
+	b.ReportMetric(clientPct/n, "client_fail_pct")
+	b.ReportMetric(totalFailovers/n, "total_failovers")
+}
+
+// BenchmarkAblation_ObjectTableScaling measures the paper's prediction that
+// the LOCATION_FORWARD scheme's per-object IOR bookkeeping grows with the
+// number of objects a server hosts ("we expect that as the server supports
+// more objects, the overhead of the GIOP LOCATION_FORWARD scheme will
+// increase significantly above the rest since it maintains an IOR entry for
+// each object instantiated").
+func runObjectScalingBench(b *testing.B, objects int) {
+	b.Helper()
+	var steadyUS, announceBytes float64
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(LocationForward)
+		sc.Seed += int64(i)
+		sc.Invocations = 300
+		sc.Objects = objects
+		res, err := Run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steadyUS += float64(res.MeanSteadyRTT()) / float64(time.Microsecond)
+		announceBytes += float64(res.GroupBytes)
+	}
+	n := float64(b.N)
+	b.ReportMetric(steadyUS/n, "rtt_us")
+	b.ReportMetric(announceBytes/n, "group_bytes")
+}
+
+func BenchmarkAblation_ObjectTable_1(b *testing.B)   { runObjectScalingBench(b, 1) }
+func BenchmarkAblation_ObjectTable_64(b *testing.B)  { runObjectScalingBench(b, 64) }
+func BenchmarkAblation_ObjectTable_512(b *testing.B) { runObjectScalingBench(b, 512) }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mead"
+)
+
+func TestRunRejectsBadFlagsAndScheme(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-scheme", "nope"}); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestClientAgainstLiveDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a deployment")
+	}
+	dep, err := mead.NewDeployment(mead.Scenario{
+		Scheme:      mead.MeadMessage,
+		InjectFault: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	csv := filepath.Join(t.TempDir(), "rtt.csv")
+	err = run([]string{
+		"-hub", dep.HubAddr(),
+		"-names", dep.NamesAddr(),
+		"-scheme", "mead-message",
+		"-n", "50",
+		"-period", time.Microsecond.String(),
+		"-csv", csv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "bogus"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestTemplateQuickDefaults(t *testing.T) {
+	sc := template(options{quick: true, threshold: 0.8})
+	if sc.Invocations != 1000 || sc.Period != 200*time.Microsecond {
+		t.Fatalf("quick template = %+v", sc)
+	}
+	if sc.Fault.Tick == 0 {
+		t.Fatal("quick template has no fault tick")
+	}
+	slow := template(options{threshold: 0.8})
+	if slow.Invocations != 0 || slow.Period != 0 {
+		t.Fatalf("paper-scale template overrides defaults: %+v", slow)
+	}
+}
+
+func TestQuickTable1EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs five scenarios")
+	}
+	dir := t.TempDir()
+	err := run([]string{"-run", "table1", "-quick", "-invocations", "200", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("CSV files written = %d, want 5", len(entries))
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".csv" {
+			t.Fatalf("unexpected output file %s", e.Name())
+		}
+	}
+}
+
+func TestQuickJitterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six scenarios")
+	}
+	if err := run([]string{"-run", "jitter", "-quick", "-invocations", "150"}); err != nil {
+		t.Fatal(err)
+	}
+}

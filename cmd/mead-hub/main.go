@@ -1,0 +1,40 @@
+// Command mead-hub runs the standalone group-communication hub (the Spread
+// daemon stand-in) for multi-process deployments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mead"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mead-hub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mead-hub", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:4803", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	hub := mead.NewHub()
+	if err := hub.Start(*addr); err != nil {
+		return err
+	}
+	defer hub.Close()
+	fmt.Printf("mead-hub: serving group communication on %s\n", hub.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mead-hub: shutting down")
+	return nil
+}

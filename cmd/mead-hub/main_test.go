@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:-1"}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestHubServesUntilSignal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("signals the process")
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0"})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hub did not stop on SIGTERM")
+	}
+}

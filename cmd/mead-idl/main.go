@@ -1,0 +1,54 @@
+// Command mead-idl is the IDL compiler for the mini-ORB: it reads an OMG
+// IDL subset and emits Go client stubs and servant adapters over
+// internal/orb, as a CORBA vendor's IDL compiler would emit C++ stubs and
+// skeletons over its ORB.
+//
+//	mead-idl -in timeofday.idl -pkg gen -out gen/gen.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mead/internal/idl"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mead-idl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mead-idl", flag.ContinueOnError)
+	var (
+		in  = fs.String("in", "", "input IDL file")
+		pkg = fs.String("pkg", "gen", "Go package name for the output")
+		out = fs.String("out", "", "output Go file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	file, err := idl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	code, err := idl.Generate(file, *pkg)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(code)
+		return err
+	}
+	return os.WriteFile(*out, code, 0o644)
+}

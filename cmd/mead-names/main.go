@@ -1,0 +1,40 @@
+// Command mead-names runs the standalone Naming Service for multi-process
+// deployments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mead"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mead-names:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mead-names", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:4804", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := mead.NewNamingServer()
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("mead-names: naming service on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mead-names: shutting down")
+	return nil
+}

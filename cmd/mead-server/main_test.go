@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"mead"
+)
+
+func TestRunRejectsBadFlagsAndScheme(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-scheme", "nope"}); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestServerServesUntilSignal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots infrastructure and signals the process")
+	}
+	hub := mead.NewHub()
+	if err := hub.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	names := mead.NewNamingServer()
+	if err := names.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer names.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-name", "rtest",
+			"-hub", hub.Addr(),
+			"-names", names.Addr(),
+			"-scheme", "mead-message",
+		})
+	}()
+
+	// Wait for registration, then interrupt ourselves.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(hub.Members("mead.timeofday")) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never joined the group")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not stop on SIGTERM")
+	}
+}

@@ -1,0 +1,66 @@
+package mead_test
+
+import (
+	"fmt"
+	"time"
+
+	"mead"
+)
+
+// ExampleRun executes a small faulty scenario under the MEAD proactive
+// fail-over scheme and shows that no failure reaches the client.
+func ExampleRun() {
+	res, err := mead.Run(mead.Scenario{
+		Scheme:      mead.MeadMessage,
+		Invocations: 200,
+		Period:      100 * time.Microsecond,
+		InjectFault: true,
+		Fault: mead.FaultConfig{
+			Tick:      time.Millisecond,
+			ChunkUnit: 16,
+			Seed:      1,
+		},
+		RestartDelay:    20 * time.Millisecond,
+		CheckpointEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("invocations: %d\n", len(res.RTTs))
+	fmt.Printf("exceptions seen by the application: %d\n", res.ClientFailures())
+	// Output:
+	// invocations: 200
+	// exceptions seen by the application: 0
+}
+
+// ExampleNewDeployment boots a deployment and performs one invocation
+// through a client strategy.
+func ExampleNewDeployment() {
+	dep, err := mead.NewDeployment(mead.Scenario{Scheme: mead.LocationForward})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer dep.Close()
+
+	strat, err := dep.NewClient()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer strat.Close()
+
+	out := strat.Invoke()
+	fmt.Printf("served by %s, error: %v\n", out.Replica, out.Err)
+	// Output:
+	// served by r1, error: <nil>
+}
+
+// ExampleParseScheme round-trips a scheme name.
+func ExampleParseScheme() {
+	s, _ := mead.ParseScheme("mead-message")
+	fmt.Println(s, s.Proactive())
+	// Output:
+	// mead-message true
+}

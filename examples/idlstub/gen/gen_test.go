@@ -1,0 +1,175 @@
+package gen
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"mead/internal/cdr"
+	"mead/internal/giop"
+	"mead/internal/orb"
+)
+
+// impl is a test implementation of the generated servant interface.
+type impl struct {
+	count uint64
+	notes chan string
+}
+
+func (m *impl) TimeOfDay() (int64, uint64, string, error) {
+	m.count++
+	return time.Now().UnixNano(), m.count, "gen-test", nil
+}
+
+func (m *impl) Counter() (uint64, error) { return m.count, nil }
+
+func (m *impl) Status(requester string) (Status, error) {
+	if requester == "forbidden" {
+		return Status{}, &orb.UserException{RepoID: "IDL:mead/Forbidden:1.0"}
+	}
+	return Status{
+		Replica: "gen-test",
+		Health:  HealthDEGRADED,
+		Counter: m.count,
+		Payload: []byte{1, 2, 3},
+		Tags:    []string{"a", "b"},
+	}, nil
+}
+
+func (m *impl) Scale(factor, value float64) (float64, float64, error) {
+	return factor * value, value, nil
+}
+
+func (m *impl) Note(message string) error {
+	m.notes <- message
+	return nil
+}
+
+func startStub(t *testing.T) (*TimeOfDayStub, *impl) {
+	t.Helper()
+	server := &impl{notes: make(chan string, 8)}
+	srv := orb.NewServer()
+	key := giop.MakeObjectKey("timeofday", "clock")
+	srv.Register(key, NewTimeOfDayServant(server))
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	ior, err := srv.IORFor(TimeOfDayTypeID, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := NewTimeOfDayStub(orb.NewClient().Object(ior))
+	t.Cleanup(func() { _ = stub.Ref().Close() })
+	return stub, server
+}
+
+func TestStubTimeOfDay(t *testing.T) {
+	stub, _ := startStub(t)
+	ts, counter, replica, err := stub.TimeOfDay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts == 0 || counter != 1 || replica != "gen-test" {
+		t.Fatalf("result = %d %d %q", ts, counter, replica)
+	}
+}
+
+func TestStubStructSequenceEnum(t *testing.T) {
+	stub, _ := startStub(t)
+	status, err := stub.Status("tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Replica != "gen-test" || status.Health != HealthDEGRADED {
+		t.Fatalf("status = %+v", status)
+	}
+	if !bytes.Equal(status.Payload, []byte{1, 2, 3}) {
+		t.Fatalf("payload = %v", status.Payload)
+	}
+	if len(status.Tags) != 2 || status.Tags[1] != "b" {
+		t.Fatalf("tags = %v", status.Tags)
+	}
+}
+
+func TestStubUserException(t *testing.T) {
+	stub, _ := startStub(t)
+	_, err := stub.Status("forbidden")
+	var ue *orb.UserException
+	if !errors.As(err, &ue) || ue.RepoID != "IDL:mead/Forbidden:1.0" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStubInOut(t *testing.T) {
+	stub, _ := startStub(t)
+	ret, valueOut, err := stub.Scale(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 21 || valueOut != 7 {
+		t.Fatalf("scale = %v, %v", ret, valueOut)
+	}
+}
+
+func TestStubOneway(t *testing.T) {
+	stub, server := startStub(t)
+	if err := stub.Note("fire and forget"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-server.notes:
+		if msg != "fire and forget" {
+			t.Fatalf("note = %q", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oneway note never arrived")
+	}
+}
+
+func TestStatusCDRRoundTrip(t *testing.T) {
+	in := Status{
+		Replica: "r9",
+		Health:  HealthFAILING,
+		Counter: 1 << 40,
+		Payload: bytes.Repeat([]byte{7}, 52),
+		Tags:    []string{"x"},
+	}
+	e := cdr.NewEncoder(cdr.BigEndian)
+	EncodeStatus(e, in)
+	out, err := DecodeStatus(cdr.NewDecoder(e.Bytes(), cdr.BigEndian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Replica != in.Replica || out.Health != in.Health || out.Counter != in.Counter ||
+		!bytes.Equal(out.Payload, in.Payload) || len(out.Tags) != 1 {
+		t.Fatalf("round trip %+v -> %+v", in, out)
+	}
+}
+
+func TestHealthDecodeValidates(t *testing.T) {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULong(99)
+	if _, err := DecodeHealth(cdr.NewDecoder(e.Bytes(), cdr.BigEndian)); err == nil {
+		t.Fatal("out-of-range enum accepted")
+	}
+	e2 := cdr.NewEncoder(cdr.BigEndian)
+	EncodeHealth(e2, HealthHEALTHY)
+	v, err := DecodeHealth(cdr.NewDecoder(e2.Bytes(), cdr.BigEndian))
+	if err != nil || v != HealthHEALTHY {
+		t.Fatalf("decode = %v, %v", v, err)
+	}
+}
+
+func TestUnknownOperationRejected(t *testing.T) {
+	stub, _ := startStub(t)
+	err := stub.Ref().Invoke("no_such_op", nil, nil)
+	var se *giop.SystemException
+	if !errors.As(err, &se) || se.RepoID != giop.RepoBadOperation {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module mead
+
+go 1.22

@@ -1,0 +1,353 @@
+// Package cdr implements the subset of OMG Common Data Representation (CDR)
+// marshalling that GIOP messages need: naturally aligned primitive types in
+// either byte order, strings, octet sequences, and encapsulations.
+//
+// Alignment is computed relative to the start of the CDR stream (offset 0 =
+// the first byte handed to the Encoder or Decoder). GIOP message bodies and
+// encapsulations each start their own stream, which is how this package is
+// used by package giop, so encoder and decoder positions always agree.
+package cdr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ByteOrder is the CDR byte-order flag: 0 means big-endian, 1 little-endian,
+// exactly as carried in GIOP headers and encapsulation prefixes.
+type ByteOrder byte
+
+// Byte orders. BigEndian is the zero value, matching CORBA's flag encoding.
+const (
+	BigEndian    ByteOrder = 0
+	LittleEndian ByteOrder = 1
+)
+
+func (o ByteOrder) String() string {
+	if o == LittleEndian {
+		return "little-endian"
+	}
+	return "big-endian"
+}
+
+// Marshalling errors.
+var (
+	// ErrTruncated reports a read past the end of the buffer.
+	ErrTruncated = errors.New("cdr: truncated stream")
+	// ErrBadString reports a malformed CDR string (bad length or missing
+	// NUL terminator).
+	ErrBadString = errors.New("cdr: malformed string")
+	// ErrLengthOverflow reports a sequence length too large for the
+	// remaining buffer, a sign of a corrupt or hostile stream.
+	ErrLengthOverflow = errors.New("cdr: sequence length exceeds remaining stream")
+)
+
+// Encoder builds a CDR stream. The zero value is not usable; use NewEncoder.
+type Encoder struct {
+	buf   []byte
+	order ByteOrder
+}
+
+// NewEncoder returns an Encoder producing a stream in the given byte order.
+func NewEncoder(order ByteOrder) *Encoder {
+	return &Encoder{order: order}
+}
+
+// Bytes returns the encoded stream. The returned slice aliases the
+// encoder's buffer; callers must not retain it across further writes.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current stream length in bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Order returns the encoder's byte order.
+func (e *Encoder) Order() ByteOrder { return e.order }
+
+// align pads the stream with zero bytes so the next write lands on a
+// multiple of n (n must be a power of two).
+func (e *Encoder) align(n int) {
+	for len(e.buf)%n != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// WriteOctet appends a single octet.
+func (e *Encoder) WriteOctet(v byte) {
+	e.buf = append(e.buf, v)
+}
+
+// WriteRaw appends bytes verbatim, without any alignment. It splices an
+// independently encoded CDR sub-stream (e.g. operation arguments aligned
+// relative to their own start) into this stream.
+func (e *Encoder) WriteRaw(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
+// WriteBool appends a CDR boolean (one octet, 0 or 1).
+func (e *Encoder) WriteBool(v bool) {
+	if v {
+		e.WriteOctet(1)
+	} else {
+		e.WriteOctet(0)
+	}
+}
+
+// WriteUShort appends an aligned 16-bit unsigned integer.
+func (e *Encoder) WriteUShort(v uint16) {
+	e.align(2)
+	if e.order == LittleEndian {
+		e.buf = append(e.buf, byte(v), byte(v>>8))
+	} else {
+		e.buf = append(e.buf, byte(v>>8), byte(v))
+	}
+}
+
+// WriteULong appends an aligned 32-bit unsigned integer.
+func (e *Encoder) WriteULong(v uint32) {
+	e.align(4)
+	if e.order == LittleEndian {
+		e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	} else {
+		e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+}
+
+// WriteULongLong appends an aligned 64-bit unsigned integer.
+func (e *Encoder) WriteULongLong(v uint64) {
+	e.align(8)
+	if e.order == LittleEndian {
+		e.buf = append(e.buf,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	} else {
+		e.buf = append(e.buf,
+			byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+}
+
+// WriteShort appends an aligned 16-bit signed integer.
+func (e *Encoder) WriteShort(v int16) { e.WriteUShort(uint16(v)) }
+
+// WriteLong appends an aligned 32-bit signed integer.
+func (e *Encoder) WriteLong(v int32) { e.WriteULong(uint32(v)) }
+
+// WriteLongLong appends an aligned 64-bit signed integer.
+func (e *Encoder) WriteLongLong(v int64) { e.WriteULongLong(uint64(v)) }
+
+// WriteDouble appends an aligned IEEE-754 double.
+func (e *Encoder) WriteDouble(v float64) { e.WriteULongLong(math.Float64bits(v)) }
+
+// WriteString appends a CDR string: ulong length (including the trailing
+// NUL), the bytes, then a NUL terminator.
+func (e *Encoder) WriteString(s string) {
+	e.WriteULong(uint32(len(s) + 1))
+	e.buf = append(e.buf, s...)
+	e.buf = append(e.buf, 0)
+}
+
+// WriteOctets appends a sequence<octet>: ulong length then the raw bytes.
+func (e *Encoder) WriteOctets(b []byte) {
+	e.WriteULong(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// WriteEncapsulation appends a CDR encapsulation: an octet-sequence whose
+// payload is its own CDR stream (starting with a byte-order octet) built by
+// fill. The inner stream uses the same byte order as the outer encoder.
+func (e *Encoder) WriteEncapsulation(fill func(*Encoder)) {
+	inner := NewEncoder(e.order)
+	inner.WriteOctet(byte(e.order))
+	fill(inner)
+	e.WriteOctets(inner.Bytes())
+}
+
+// Decoder consumes a CDR stream produced by Encoder (or a conforming CORBA
+// peer). Methods return ErrTruncated when the stream is exhausted early.
+type Decoder struct {
+	buf   []byte
+	pos   int
+	order ByteOrder
+}
+
+// NewDecoder returns a Decoder over buf interpreting multi-byte values in
+// the given byte order.
+func NewDecoder(buf []byte, order ByteOrder) *Decoder {
+	return &Decoder{buf: buf, order: order}
+}
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+// Rest returns the unread bytes without consuming them. Callers use it to
+// start a fresh CDR stream (fresh alignment origin) over a spliced
+// sub-stream such as operation arguments.
+func (d *Decoder) Rest() []byte { return d.buf[d.pos:] }
+
+// Pos returns the current read offset.
+func (d *Decoder) Pos() int { return d.pos }
+
+// Order returns the decoder's byte order.
+func (d *Decoder) Order() ByteOrder { return d.order }
+
+func (d *Decoder) align(n int) error {
+	for d.pos%n != 0 {
+		if d.pos >= len(d.buf) {
+			return ErrTruncated
+		}
+		d.pos++
+	}
+	return nil
+}
+
+func (d *Decoder) take(n int) ([]byte, error) {
+	if d.Remaining() < n {
+		return nil, ErrTruncated
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+// ReadOctet reads a single octet.
+func (d *Decoder) ReadOctet() (byte, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// ReadBool reads a CDR boolean.
+func (d *Decoder) ReadBool() (bool, error) {
+	b, err := d.ReadOctet()
+	return b != 0, err
+}
+
+// ReadUShort reads an aligned 16-bit unsigned integer.
+func (d *Decoder) ReadUShort() (uint16, error) {
+	if err := d.align(2); err != nil {
+		return 0, err
+	}
+	b, err := d.take(2)
+	if err != nil {
+		return 0, err
+	}
+	if d.order == LittleEndian {
+		return uint16(b[0]) | uint16(b[1])<<8, nil
+	}
+	return uint16(b[0])<<8 | uint16(b[1]), nil
+}
+
+// ReadULong reads an aligned 32-bit unsigned integer.
+func (d *Decoder) ReadULong() (uint32, error) {
+	if err := d.align(4); err != nil {
+		return 0, err
+	}
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	if d.order == LittleEndian {
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+// ReadULongLong reads an aligned 64-bit unsigned integer.
+func (d *Decoder) ReadULongLong() (uint64, error) {
+	if err := d.align(8); err != nil {
+		return 0, err
+	}
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	if d.order == LittleEndian {
+		return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+	}
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7]), nil
+}
+
+// ReadShort reads an aligned 16-bit signed integer.
+func (d *Decoder) ReadShort() (int16, error) {
+	v, err := d.ReadUShort()
+	return int16(v), err
+}
+
+// ReadLong reads an aligned 32-bit signed integer.
+func (d *Decoder) ReadLong() (int32, error) {
+	v, err := d.ReadULong()
+	return int32(v), err
+}
+
+// ReadLongLong reads an aligned 64-bit signed integer.
+func (d *Decoder) ReadLongLong() (int64, error) {
+	v, err := d.ReadULongLong()
+	return int64(v), err
+}
+
+// ReadDouble reads an aligned IEEE-754 double.
+func (d *Decoder) ReadDouble() (float64, error) {
+	v, err := d.ReadULongLong()
+	return math.Float64frombits(v), err
+}
+
+// ReadString reads a CDR string.
+func (d *Decoder) ReadString() (string, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", fmt.Errorf("%w: zero-length string (must include NUL)", ErrBadString)
+	}
+	if uint32(d.Remaining()) < n {
+		return "", ErrLengthOverflow
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	if b[n-1] != 0 {
+		return "", fmt.Errorf("%w: missing NUL terminator", ErrBadString)
+	}
+	return string(b[:n-1]), nil
+}
+
+// ReadOctets reads a sequence<octet>. The returned slice is a copy.
+func (d *Decoder) ReadOctets() ([]byte, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(d.Remaining()) < n {
+		return nil, ErrLengthOverflow
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, nil
+}
+
+// ReadEncapsulation reads a CDR encapsulation and returns a Decoder over its
+// payload, positioned after the byte-order octet and honouring the order it
+// declares.
+func (d *Decoder) ReadEncapsulation() (*Decoder, error) {
+	payload, err := d.ReadOctets()
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("cdr: empty encapsulation: %w", ErrTruncated)
+	}
+	inner := NewDecoder(payload, ByteOrder(payload[0]&1))
+	inner.pos = 1
+	return inner, nil
+}

@@ -1,0 +1,223 @@
+// Package client implements the five client-side recovery strategies of
+// Table 1: the two classical reactive baselines (with and without a cached
+// reference list) and the client halves of the three proactive schemes.
+// All strategies invoke the paper's test application: "a simple CORBA
+// client ... requested the time-of-day at 1ms intervals from one of three
+// warm-passively replicated CORBA servers".
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mead/internal/cdr"
+	"mead/internal/ftmgr"
+	"mead/internal/gcs"
+	"mead/internal/giop"
+	"mead/internal/namesvc"
+	"mead/internal/orb"
+)
+
+// Outcome describes one logical invocation as the client application
+// experienced it: its end-to-end round-trip time (including any recovery
+// actions), the CORBA exceptions that reached the application, and whether
+// a fail-over happened underneath it.
+type Outcome struct {
+	// RTT is the wall-clock time from request start to the first
+	// successful reply (or final failure).
+	RTT time.Duration
+	// Err is non-nil if the invocation ultimately failed.
+	Err error
+	// Exceptions lists the CORBA system exceptions the application
+	// caught during this invocation ("COMM_FAILURE", "TRANSIENT").
+	Exceptions []string
+	// Failover reports that a recovery action (reactive retry or
+	// transparent proactive hand-off) occurred during this invocation.
+	Failover bool
+	// Replica is the responding replica's name.
+	Replica string
+	// Timestamp is the server's reported time-of-day (ns).
+	Timestamp int64
+	// Counter is the server's replicated state counter.
+	Counter uint64
+}
+
+// Strategy performs time-of-day invocations under one recovery scheme.
+type Strategy interface {
+	// Scheme identifies the strategy.
+	Scheme() ftmgr.Scheme
+	// Invoke performs one logical invocation.
+	Invoke() Outcome
+	// Close releases connections.
+	Close() error
+}
+
+// Config parameterizes a client strategy.
+type Config struct {
+	// Scheme selects the strategy.
+	Scheme ftmgr.Scheme
+	// Service is the replicated service name.
+	Service string
+	// NamesAddr is the Naming Service endpoint.
+	NamesAddr string
+	// HubAddr is the GCS hub endpoint (NEEDS_ADDRESSING only).
+	HubAddr string
+	// MemberName is the client's GCS private name (NEEDS_ADDRESSING only).
+	MemberName string
+	// QueryTimeout is the NEEDS_ADDRESSING group-query window
+	// (default 10 ms, as in the paper).
+	QueryTimeout time.Duration
+	// DialTimeout bounds connection attempts (default 2 s).
+	DialTimeout time.Duration
+	// MaxAttempts bounds recovery retries within one logical invocation
+	// (default 8).
+	MaxAttempts int
+}
+
+func (c Config) group() string { return "mead." + c.Service }
+
+// New builds the strategy for cfg.Scheme.
+func New(cfg Config) (Strategy, error) {
+	if cfg.Service == "" || cfg.NamesAddr == "" {
+		return nil, errors.New("client: Service and NamesAddr required")
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 8
+	}
+	base := &base{
+		cfg:   cfg,
+		names: namesvc.NewClient(cfg.NamesAddr),
+	}
+	switch cfg.Scheme {
+	case ftmgr.ReactiveNoCache, ftmgr.ReactiveCache:
+		base.orb = orb.NewClient(orb.WithDialTimeout(cfg.DialTimeout))
+		return &reactive{base: base, cached: cfg.Scheme == ftmgr.ReactiveCache}, nil
+	case ftmgr.LocationForward:
+		// "The main advantage of this technique is that it does not
+		// require an Interceptor at the client because the client ORB
+		// handles the retransmission through native CORBA mechanisms."
+		base.orb = orb.NewClient(orb.WithDialTimeout(cfg.DialTimeout))
+		return &proactive{base: base, scheme: ftmgr.LocationForward}, nil
+	case ftmgr.MeadMessage:
+		cm, err := ftmgr.NewClientManager(ftmgr.ClientConfig{
+			Scheme:      ftmgr.MeadMessage,
+			DialTimeout: cfg.DialTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		base.orb = orb.NewClient(
+			orb.WithDialTimeout(cfg.DialTimeout),
+			orb.WithClientConnWrapper(cm.WrapClientConn),
+		)
+		return &proactive{base: base, scheme: ftmgr.MeadMessage, cm: cm}, nil
+	case ftmgr.NeedsAddressing:
+		if cfg.HubAddr == "" {
+			return nil, errors.New("client: NEEDS_ADDRESSING requires HubAddr")
+		}
+		name := cfg.MemberName
+		if name == "" {
+			name = fmt.Sprintf("client-%d", time.Now().UnixNano())
+		}
+		member, err := gcs.Dial(cfg.HubAddr, name)
+		if err != nil {
+			return nil, err
+		}
+		cm, err := ftmgr.NewClientManager(ftmgr.ClientConfig{
+			Scheme:       ftmgr.NeedsAddressing,
+			Member:       member,
+			Group:        cfg.group(),
+			QueryTimeout: cfg.QueryTimeout,
+			DialTimeout:  cfg.DialTimeout,
+		})
+		if err != nil {
+			_ = member.Close()
+			return nil, err
+		}
+		base.orb = orb.NewClient(
+			orb.WithDialTimeout(cfg.DialTimeout),
+			orb.WithClientConnWrapper(cm.WrapClientConn),
+		)
+		return &proactive{base: base, scheme: ftmgr.NeedsAddressing, cm: cm, member: member}, nil
+	default:
+		return nil, fmt.Errorf("client: unknown scheme %v", cfg.Scheme)
+	}
+}
+
+// base holds the machinery shared by all strategies.
+type base struct {
+	cfg   Config
+	orb   *orb.ClientORB
+	names *namesvc.Client
+
+	ref *orb.ObjectRef
+	idx int // index (into the naming listing) of the current reference
+}
+
+func (b *base) Close() error {
+	if b.ref != nil {
+		return b.ref.Close()
+	}
+	return nil
+}
+
+// resolveAt fetches the naming listing and binds to entry idx (mod len).
+// This is the visible "resolve spike" of the reactive schemes.
+func (b *base) resolveAt(idx int) error {
+	entries, err := b.names.List(b.cfg.Service + "/")
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("client: no replicas bound under %q", b.cfg.Service)
+	}
+	b.idx = ((idx % len(entries)) + len(entries)) % len(entries)
+	if b.ref != nil {
+		_ = b.ref.Close()
+	}
+	b.ref = b.orb.Object(entries[b.idx].IOR)
+	return nil
+}
+
+// call performs the actual time_of_day invocation on the current reference.
+func (b *base) call(out *Outcome) error {
+	return b.ref.Invoke("time_of_day", nil, func(d *cdr.Decoder) error {
+		ts, err := d.ReadLongLong()
+		if err != nil {
+			return err
+		}
+		counter, err := d.ReadULongLong()
+		if err != nil {
+			return err
+		}
+		name, err := d.ReadString()
+		if err != nil {
+			return err
+		}
+		out.Timestamp = ts
+		out.Counter = counter
+		out.Replica = name
+		return nil
+	})
+}
+
+// classify maps an invocation error to the exception name the application
+// observes.
+func classify(err error) (string, bool) {
+	var se *giop.SystemException
+	if !errors.As(err, &se) {
+		return "", false
+	}
+	switch se.RepoID {
+	case giop.RepoCommFailure:
+		return "COMM_FAILURE", true
+	case giop.RepoTransient:
+		return "TRANSIENT", true
+	default:
+		return se.RepoID, true
+	}
+}

@@ -1,0 +1,204 @@
+package client
+
+import (
+	"time"
+
+	"mead/internal/ftmgr"
+	"mead/internal/namesvc"
+)
+
+// reactive implements the two classical baselines of Section 5.
+//
+// Without cache: "the client waited until it detected a server failure
+// before contacting the CORBA Naming Service for the address of the next
+// available server replica."
+//
+// With cache: "the client first contacted the CORBA Naming Service and
+// obtained the addresses of the three server replicas, and stored them in a
+// collocated cache. When the client detected the failure of a server
+// replica, it moved on to the next entry in the cache, and only contacted
+// the CORBA Naming Service once it exhausted all of the entries."
+type reactive struct {
+	*base
+	cached bool
+
+	cache    []namesvc.Entry
+	cacheIdx int
+}
+
+var _ Strategy = (*reactive)(nil)
+
+func (r *reactive) Scheme() ftmgr.Scheme {
+	if r.cached {
+		return ftmgr.ReactiveCache
+	}
+	return ftmgr.ReactiveNoCache
+}
+
+func (r *reactive) Invoke() (out Outcome) {
+	start := time.Now()
+	defer func() { out.RTT = time.Since(start) }()
+
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if err := r.ensureRef(); err != nil {
+			out.Err = err
+			return out
+		}
+		err := r.call(&out)
+		if err == nil {
+			out.Err = nil
+			return out
+		}
+		name, isCORBA := classify(err)
+		if !isCORBA {
+			out.Err = err
+			return out
+		}
+		// The application catches the exception and fails over.
+		out.Exceptions = append(out.Exceptions, name)
+		out.Failover = true
+		r.advance()
+		out.Err = err // kept if every attempt fails
+	}
+	return out
+}
+
+// ensureRef lazily establishes the initial reference (the initial naming
+// spike at the start of each run in Figures 3 and 4).
+func (r *reactive) ensureRef() error {
+	if r.ref != nil {
+		return nil
+	}
+	if !r.cached {
+		return r.resolveAt(0)
+	}
+	return r.refreshCache(0)
+}
+
+// refreshCache re-resolves all replica references in one sweep — exactly
+// the behaviour that creates stale entries: "Stale cache references occur
+// when we refreshed the cache before a faulty replica has had a chance to
+// restart and register itself with the CORBA Naming Service."
+func (r *reactive) refreshCache(startIdx int) error {
+	entries, err := r.names.List(r.cfg.Service + "/")
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return errNoReplicas(r.cfg.Service)
+	}
+	r.cache = entries
+	r.cacheIdx = startIdx % len(entries)
+	r.bindCacheEntry()
+	return nil
+}
+
+func (r *reactive) bindCacheEntry() {
+	if r.ref != nil {
+		_ = r.ref.Close()
+	}
+	r.ref = r.orb.Object(r.cache[r.cacheIdx].IOR)
+}
+
+// advance moves to the next replica after a failure.
+func (r *reactive) advance() {
+	if !r.cached {
+		// Contact the Naming Service for the next available replica.
+		_ = r.resolveAt(r.idx + 1)
+		return
+	}
+	r.cacheIdx++
+	if r.cacheIdx >= len(r.cache) {
+		// Cache exhausted: re-resolve all entries (the larger spike).
+		if err := r.refreshCache(0); err != nil {
+			r.ref = nil
+		}
+		return
+	}
+	r.bindCacheEntry()
+}
+
+type errNoReplicas string
+
+func (e errNoReplicas) Error() string { return "client: no replicas bound under " + string(e) }
+
+// proactive implements the client side of the three proactive schemes. The
+// transparent hand-offs happen inside the ORB (LOCATION_FORWARD) or the
+// interceptor (NEEDS_ADDRESSING, MEAD); the strategy only measures them and
+// falls back to reactive re-resolution when an exception does reach the
+// application (which the paper observed for NEEDS_ADDRESSING in ~25% of
+// server failures).
+type proactive struct {
+	*base
+	scheme ftmgr.Scheme
+	cm     *ftmgr.ClientManager
+	member interface{ Close() error }
+
+	lastForwards  int
+	lastFailovers int
+}
+
+var _ Strategy = (*proactive)(nil)
+
+func (p *proactive) Scheme() ftmgr.Scheme { return p.scheme }
+
+func (p *proactive) Close() error {
+	err := p.base.Close()
+	if p.member != nil {
+		_ = p.member.Close()
+	}
+	return err
+}
+
+func (p *proactive) Invoke() (out Outcome) {
+	start := time.Now()
+	defer func() { out.RTT = time.Since(start) }()
+
+	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		if p.ref == nil {
+			if err := p.resolveAt(p.idx); err != nil {
+				out.Err = err
+				return out
+			}
+		}
+		err := p.call(&out)
+		out.Failover = out.Failover || p.transparentHandoffs()
+		if err == nil {
+			out.Err = nil
+			return out
+		}
+		name, isCORBA := classify(err)
+		if !isCORBA {
+			out.Err = err
+			return out
+		}
+		out.Exceptions = append(out.Exceptions, name)
+		out.Failover = true
+		// Reactive fallback: next replica via the Naming Service.
+		if rerr := p.resolveAt(p.idx + 1); rerr != nil {
+			out.Err = rerr
+			return out
+		}
+		out.Err = err
+	}
+	return out
+}
+
+// transparentHandoffs reports (and consumes) any hand-offs the ORB or the
+// interceptor performed since the last check.
+func (p *proactive) transparentHandoffs() bool {
+	happened := false
+	if p.ref != nil {
+		if f := p.ref.Stats().Forwards + p.ref.Stats().Retransmissions; f != p.lastForwards {
+			p.lastForwards = f
+			happened = true
+		}
+	}
+	if p.cm != nil {
+		if f := p.cm.Failovers(); f != p.lastFailovers {
+			p.lastFailovers = f
+			happened = true
+		}
+	}
+	return happened
+}

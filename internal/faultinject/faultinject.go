@@ -1,0 +1,185 @@
+// Package faultinject reproduces the paper's fault-injection strategy
+// (Section 5.1): "We injected a memory-leak fault by declaring a 32KB
+// buffer of memory within the Interceptor, and then slowly exhausting the
+// buffer according to a Weibull probability distribution ... The memory
+// leak at a server replica was activated when the server received its first
+// client request. At every subsequent 150ms intervals after the onset of
+// the fault, we exhausted chunks of memory according to a Weibull
+// distribution with a scale parameter of 64, and a shape parameter of 2.0."
+//
+// The paper's parameters are internally inconsistent: a raw Weibull(64,
+// 2.0) draw has mean ~56.7, which against a 32 KB buffer would take ~87 s
+// to cause a failure, while the paper reports "approximately one server
+// failure for every 250 client invocations" (250 ms at the 1 ms request
+// period) — reachable only with draws so large that a single 150 ms tick
+// would blow straight through the 80%/90% thresholds, which would have made
+// the paper's own zero-client-failure proactive results impossible. We
+// scale each draw by a configurable ChunkUnit and default it to 32 bytes:
+// the leak then crosses the thresholds gradually (the behaviour the
+// proactive results depend on) and exhausts the buffer in ~18 ticks.
+// Experiment drivers shrink Tick to raise the failure rate toward the
+// paper's invocations-per-failure ratio; see EXPERIMENTS.md.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mead/internal/resource"
+	"mead/internal/stats"
+)
+
+// Defaults from Section 5.1 of the paper.
+const (
+	DefaultBufferBytes = 32 * 1024
+	DefaultTick        = 150 * time.Millisecond
+	DefaultScale       = 64.0
+	DefaultShape       = 2.0
+	DefaultChunkUnit   = 32
+)
+
+// Config parameterizes a memory-leak injector.
+type Config struct {
+	// BufferBytes is the leak buffer capacity (default 32 KB).
+	BufferBytes int64
+	// Tick is the leak interval (default 150 ms).
+	Tick time.Duration
+	// Scale and Shape are the Weibull parameters (defaults 64 and 2.0).
+	Scale float64
+	Shape float64
+	// ChunkUnit scales each Weibull draw to bytes (default 32).
+	ChunkUnit int64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.BufferBytes == 0 {
+		c.BufferBytes = DefaultBufferBytes
+	}
+	if c.Tick == 0 {
+		c.Tick = DefaultTick
+	}
+	if c.Scale == 0 {
+		c.Scale = DefaultScale
+	}
+	if c.Shape == 0 {
+		c.Shape = DefaultShape
+	}
+	if c.ChunkUnit == 0 {
+		c.ChunkUnit = DefaultChunkUnit
+	}
+	return c
+}
+
+// ErrStopped reports activation of a stopped injector.
+var ErrStopped = errors.New("faultinject: injector stopped")
+
+// Injector drives one replica's memory leak. The leak starts on Activate
+// (the first client request) and consumes the budget every Tick until
+// exhaustion, at which point onExhausted fires once (the process-crash
+// fault) and the injector stops.
+type Injector struct {
+	cfg         Config
+	budget      *resource.Budget
+	weibull     *stats.Weibull
+	onExhausted func()
+
+	mu        sync.Mutex
+	activated bool
+	stopped   bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New returns an injector leaking from budget.
+func New(cfg Config, budget *resource.Budget, onExhausted func()) (*Injector, error) {
+	cfg = cfg.withDefaults()
+	w, err := stats.NewWeibull(cfg.Scale, cfg.Shape, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: %w", err)
+	}
+	if budget == nil {
+		return nil, errors.New("faultinject: nil budget")
+	}
+	return &Injector{
+		cfg:         cfg,
+		budget:      budget,
+		weibull:     w,
+		onExhausted: onExhausted,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}, nil
+}
+
+// NewBudget builds the leak buffer matching cfg.
+func NewBudget(cfg Config) (*resource.Budget, error) {
+	cfg = cfg.withDefaults()
+	return resource.NewBudget("memory", cfg.BufferBytes)
+}
+
+// Config returns the injector's effective configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Activated reports whether the leak has started.
+func (in *Injector) Activated() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.activated
+}
+
+// Activate starts the leak. Subsequent calls are no-ops, so wiring it to
+// every incoming request reproduces "activated when the server received its
+// first client request".
+func (in *Injector) Activate() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.stopped {
+		return ErrStopped
+	}
+	if in.activated {
+		return nil
+	}
+	in.activated = true
+	go in.leak()
+	return nil
+}
+
+// Stop halts the leak (idempotent). It does not reset the budget.
+func (in *Injector) Stop() {
+	in.mu.Lock()
+	if in.stopped {
+		in.mu.Unlock()
+		return
+	}
+	in.stopped = true
+	wasActive := in.activated
+	close(in.stop)
+	in.mu.Unlock()
+	if wasActive {
+		<-in.done
+	}
+}
+
+func (in *Injector) leak() {
+	defer close(in.done)
+	ticker := time.NewTicker(in.cfg.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			chunk := int64(in.weibull.Sample() * float64(in.cfg.ChunkUnit))
+			if in.budget.Consume(chunk) {
+				if in.onExhausted != nil {
+					in.onExhausted()
+				}
+				return
+			}
+		case <-in.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+
+	"mead/internal/resource"
+)
+
+// RequestLeak models the other resource-exhaustion family the paper's fault
+// model covers (Section 3.2 lists "memory, file descriptors, threads"): a
+// countable resource consumed per served request and never released —
+// descriptor or thread leakage — crashing the process at the cap. Unlike
+// the time-driven memory leak, exhaustion here is load-proportional, which
+// exercises the threshold machinery from a different angle.
+type RequestLeak struct {
+	budget      *resource.Budget
+	perRequest  int64
+	onExhausted func()
+
+	once sync.Once
+}
+
+// RequestLeakConfig parameterizes a RequestLeak.
+type RequestLeakConfig struct {
+	// Resource names the leaked resource (default "descriptors").
+	Resource string
+	// Capacity is the total units available (default 512, a typical
+	// per-process descriptor limit).
+	Capacity int64
+	// PerRequest is the units leaked per request (default 1).
+	PerRequest int64
+}
+
+func (c RequestLeakConfig) withDefaults() RequestLeakConfig {
+	if c.Resource == "" {
+		c.Resource = "descriptors"
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 512
+	}
+	if c.PerRequest == 0 {
+		c.PerRequest = 1
+	}
+	return c
+}
+
+// NewRequestLeak returns a per-request leak; onExhausted fires once when
+// the budget runs out.
+func NewRequestLeak(cfg RequestLeakConfig, onExhausted func()) (*RequestLeak, error) {
+	cfg = cfg.withDefaults()
+	if cfg.PerRequest < 0 || cfg.Capacity < 0 {
+		return nil, errors.New("faultinject: negative request-leak parameters")
+	}
+	budget, err := resource.NewBudget(cfg.Resource, cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &RequestLeak{
+		budget:      budget,
+		perRequest:  cfg.PerRequest,
+		onExhausted: onExhausted,
+	}, nil
+}
+
+// Budget exposes the leak's resource budget (for threshold monitoring).
+func (l *RequestLeak) Budget() *resource.Budget { return l.budget }
+
+// OnRequest leaks one request's worth of the resource.
+func (l *RequestLeak) OnRequest() {
+	if l.budget.Consume(l.perRequest) {
+		l.once.Do(func() {
+			if l.onExhausted != nil {
+				l.onExhausted()
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Package frame provides the length-prefixed framing shared by the
+// group-communication system and the naming service: a 4-byte big-endian
+// payload length followed by the payload.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxLen bounds frame payloads to guard against corrupt streams.
+const MaxLen = 4 << 20
+
+// ErrTooLarge reports an oversized frame.
+var ErrTooLarge = errors.New("frame: frame too large")
+
+// Write writes one length-prefixed frame.
+func Write(w io.Writer, payload []byte) error {
+	if len(payload) > MaxLen {
+		return ErrTooLarge
+	}
+	var lenb [4]byte
+	binary.BigEndian.PutUint32(lenb[:], uint32(len(payload)))
+	if _, err := w.Write(lenb[:]); err != nil {
+		return fmt.Errorf("frame: write length: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("frame: write payload: %w", err)
+	}
+	return nil
+}
+
+// Read reads one length-prefixed frame.
+func Read(r io.Reader) ([]byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n > MaxLen {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("frame: short payload: %w", err)
+	}
+	return payload, nil
+}
+
+// WireLen returns the on-wire size of a frame with the given payload length.
+func WireLen(payloadLen int) uint64 { return uint64(4 + payloadLen) }

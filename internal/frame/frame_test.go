@@ -1,0 +1,73 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{7}, 1000)}
+	for _, p := range payloads {
+		buf.Reset()
+		if err := Write(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("round trip % x -> % x", p, got)
+		}
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	if err := Write(io.Discard, make([]byte, MaxLen+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Write err = %v", err)
+	}
+	var hdr [4]byte
+	hdr[0] = 0xFF
+	if _, err := Read(bytes.NewReader(hdr[:])); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Read err = %v", err)
+	}
+}
+
+func TestShortPayload(t *testing.T) {
+	var buf bytes.Buffer
+	_ = Write(&buf, []byte("abcdef"))
+	short := buf.Bytes()[:buf.Len()-2]
+	if _, err := Read(bytes.NewReader(short)); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestEOF(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestWireLen(t *testing.T) {
+	if WireLen(0) != 4 || WireLen(100) != 104 {
+		t.Fatal("WireLen wrong")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(p []byte) bool {
+		var buf bytes.Buffer
+		if err := Write(&buf, p); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		return err == nil && bytes.Equal(got, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package ftmgr
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// This file implements the paper's stated future work (Section 6): "we plan
+// to integrate adaptive thresholds into our framework rather than relying
+// on preset thresholds supplied by the user", driven by "more sophisticated
+// failure prediction".
+//
+// TrendPredictor estimates the resource-exhaustion time from observed usage
+// samples, in the spirit of Lin & Siewiorek's trend-analysis heuristics
+// [7]; AdaptiveThreshold converts that estimate plus a required hand-off
+// lead time into a migration threshold, realizing the paper's "ideal
+// scenario ... to delay proactive recovery so that the proactive
+// dependability framework has just enough time to redirect clients".
+
+// trendSample is one timestamped usage observation.
+type trendSample struct {
+	at    time.Time
+	usage float64
+}
+
+// TrendPredictor estimates the resource's growth rate from a sliding window
+// of usage samples (least-squares slope) and projects time-to-exhaustion.
+// It is safe for concurrent use.
+type TrendPredictor struct {
+	mu      sync.Mutex
+	window  int
+	samples []trendSample
+	now     func() time.Time
+}
+
+// DefaultTrendWindow is the default sample window size.
+const DefaultTrendWindow = 32
+
+// NewTrendPredictor returns a predictor keeping the last window samples
+// (<= 0 means DefaultTrendWindow).
+func NewTrendPredictor(window int) *TrendPredictor {
+	if window <= 0 {
+		window = DefaultTrendWindow
+	}
+	return &TrendPredictor{window: window, now: time.Now}
+}
+
+// Observe records a usage fraction (0..1+).
+func (p *TrendPredictor) Observe(usage float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.samples = append(p.samples, trendSample{at: p.now(), usage: usage})
+	if len(p.samples) > p.window {
+		p.samples = p.samples[len(p.samples)-p.window:]
+	}
+}
+
+// Rate returns the estimated usage growth in fraction/second and whether
+// enough data exists for an estimate.
+func (p *TrendPredictor) Rate() (perSecond float64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rateLocked()
+}
+
+func (p *TrendPredictor) rateLocked() (float64, bool) {
+	n := len(p.samples)
+	if n < 3 {
+		return 0, false
+	}
+	t0 := p.samples[0].at
+	var sumX, sumY, sumXX, sumXY float64
+	for _, s := range p.samples {
+		x := s.at.Sub(t0).Seconds()
+		y := s.usage
+		sumX += x
+		sumY += y
+		sumXX += x * x
+		sumXY += x * y
+	}
+	fn := float64(n)
+	den := fn*sumXX - sumX*sumX
+	if den <= 0 {
+		return 0, false
+	}
+	slope := (fn*sumXY - sumX*sumY) / den
+	if math.IsNaN(slope) || math.IsInf(slope, 0) {
+		return 0, false
+	}
+	return slope, true
+}
+
+// TimeToExhaustion projects how long until usage reaches 1.0 at the current
+// trend. ok is false when the trend is flat, shrinking, or under-sampled.
+func (p *TrendPredictor) TimeToExhaustion() (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rate, ok := p.rateLocked()
+	if !ok || rate <= 0 {
+		return 0, false
+	}
+	current := p.samples[len(p.samples)-1].usage
+	remaining := 1.0 - current
+	if remaining <= 0 {
+		return 0, true
+	}
+	return time.Duration(remaining / rate * float64(time.Second)), true
+}
+
+// AdaptiveThreshold derives the migration threshold from the observed leak
+// trend: migrate when the projected time to exhaustion drops below the
+// hand-off lead time (scaled by a safety factor), i.e.
+//
+//	threshold = 1 - rate * leadTime * safety
+//
+// clamped to [Floor, Ceil]. Until a trend is measurable it returns the
+// caller's preset threshold, so the framework degrades to the paper's
+// static scheme.
+type AdaptiveThreshold struct {
+	predictor *TrendPredictor
+	leadTime  time.Duration
+	safety    float64
+
+	// Floor and Ceil clamp the derived threshold.
+	Floor float64
+	Ceil  float64
+}
+
+// DefaultSafetyFactor leaves slack for jitter in the hand-off path.
+const DefaultSafetyFactor = 2.0
+
+// NewAdaptiveThreshold returns an adaptive threshold for a recovery path
+// that needs leadTime to migrate all clients.
+func NewAdaptiveThreshold(leadTime time.Duration) *AdaptiveThreshold {
+	return &AdaptiveThreshold{
+		predictor: NewTrendPredictor(0),
+		leadTime:  leadTime,
+		safety:    DefaultSafetyFactor,
+		Floor:     0.20,
+		Ceil:      0.95,
+	}
+}
+
+// Observe feeds a usage sample to the underlying trend predictor.
+func (a *AdaptiveThreshold) Observe(usage float64) {
+	a.predictor.Observe(usage)
+}
+
+// Predictor exposes the underlying trend predictor.
+func (a *AdaptiveThreshold) Predictor() *TrendPredictor { return a.predictor }
+
+// Threshold returns the current migration threshold, falling back to preset
+// when no trend is measurable.
+func (a *AdaptiveThreshold) Threshold(preset float64) float64 {
+	rate, ok := a.predictor.Rate()
+	if !ok || rate <= 0 {
+		return preset
+	}
+	th := 1 - rate*a.leadTime.Seconds()*a.safety
+	if th < a.Floor {
+		th = a.Floor
+	}
+	if th > a.Ceil {
+		th = a.Ceil
+	}
+	return th
+}

@@ -1,0 +1,235 @@
+package ftmgr
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"mead/internal/gcs"
+	"mead/internal/giop"
+	"mead/internal/interceptor"
+)
+
+// DefaultQueryTimeout is the paper's 10 ms window for the NEEDS_ADDRESSING
+// scheme: "If the client does not receive a response from the server group
+// within a specified time (we used a 10ms timeout), the blocking read() at
+// the client-side times out, and a CORBA COMM_FAILURE exception is
+// propagated up to the client application."
+const DefaultQueryTimeout = 10 * time.Millisecond
+
+// FailoverEvent describes one client-side hand-off performed by the
+// interceptor, for the experiment's fail-over accounting.
+type FailoverEvent struct {
+	Scheme Scheme
+	Target string
+	At     time.Time
+}
+
+// ClientConfig parameterizes the client-side fault-tolerance manager.
+type ClientConfig struct {
+	// Scheme must be NeedsAddressing or MeadMessage; the LOCATION_FORWARD
+	// scheme "does not require an Interceptor at the client because the
+	// client ORB handles the retransmission through native CORBA
+	// mechanisms", and the reactive baselines run without interception.
+	Scheme Scheme
+	// Member is the client's GCS connection (NEEDS_ADDRESSING only).
+	Member *gcs.Member
+	// Group is the server group queried for the new primary.
+	Group string
+	// QueryTimeout bounds the primary query (default 10 ms).
+	QueryTimeout time.Duration
+	// DialTimeout bounds redirection dials (default 2 s).
+	DialTimeout time.Duration
+	// OnFailover observes completed hand-offs (metrics).
+	OnFailover func(FailoverEvent)
+}
+
+// ClientManager is the Proactive Fault-Tolerance Manager half embedded in
+// the client-side interceptor.
+type ClientManager struct {
+	cfg ClientConfig
+
+	mu        sync.Mutex
+	failovers int
+}
+
+// NewClientManager validates cfg and returns a ClientManager.
+func NewClientManager(cfg ClientConfig) (*ClientManager, error) {
+	switch cfg.Scheme {
+	case NeedsAddressing:
+		if cfg.Member == nil {
+			return nil, errors.New("ftmgr: NEEDS_ADDRESSING client requires a GCS member")
+		}
+	case MeadMessage:
+		// No GCS needed: redirection information arrives piggybacked.
+	default:
+		return nil, errors.New("ftmgr: client interceptor applies only to NEEDS_ADDRESSING and MEAD schemes")
+	}
+	if cfg.QueryTimeout == 0 {
+		cfg.QueryTimeout = DefaultQueryTimeout
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	return &ClientManager{cfg: cfg}, nil
+}
+
+// Failovers returns how many hand-offs this manager has performed.
+func (cm *ClientManager) Failovers() int {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return cm.failovers
+}
+
+func (cm *ClientManager) noteFailover(target string) {
+	cm.mu.Lock()
+	cm.failovers++
+	cm.mu.Unlock()
+	if cm.cfg.OnFailover != nil {
+		cm.cfg.OnFailover(FailoverEvent{Scheme: cm.cfg.Scheme, Target: target, At: time.Now()})
+	}
+}
+
+// WrapClientConn interposes the scheme's client-side interceptor on a
+// dialed connection; pass it to orb.WithClientConnWrapper.
+func (cm *ClientManager) WrapClientConn(conn net.Conn) net.Conn {
+	switch cm.cfg.Scheme {
+	case MeadMessage:
+		return interceptor.New(conn, cm.meadHooks())
+	case NeedsAddressing:
+		return interceptor.New(conn, cm.needsAddrHooks())
+	default:
+		return conn
+	}
+}
+
+// meadHooks implement Section 4.3 at the client: filter MEAD fail-over
+// frames out of the reply stream, redirect the connection to the named
+// replica (dup2-equivalent swap), and pass the regular GIOP reply up to the
+// unmodified ORB.
+func (cm *ClientManager) meadHooks() interceptor.Hooks {
+	var pending net.Conn
+	var pendingTarget string
+	return interceptor.Hooks{
+		OnReadFrame: func(c *interceptor.Conn, f giop.Frame) ([]byte, error) {
+			switch f.Kind {
+			case giop.FrameMEAD:
+				if f.Mead.Type != giop.MeadFailover {
+					return nil, nil // consume unknown MEAD frames silently
+				}
+				addr, _, err := giop.DecodeMeadFailover(f.Mead.Payload)
+				if err != nil {
+					return nil, nil
+				}
+				newConn, err := net.DialTimeout("tcp", addr, cm.cfg.DialTimeout)
+				if err != nil {
+					// Migration target unreachable: ignore the notice and
+					// keep using the (still live) failing replica.
+					return nil, nil
+				}
+				pending = newConn
+				pendingTarget = addr
+				return nil, nil
+			case giop.FrameGIOP:
+				if f.Header.Type == giop.MsgReply && pending != nil {
+					// The failing replica's final reply is fully buffered;
+					// repoint the stream before handing the reply up, so
+					// the next request already flows to the new replica.
+					c.SwapUnder(pending)
+					pending = nil
+					cm.noteFailover(pendingTarget)
+				}
+				return f.Raw, nil
+			default:
+				return f.Raw, nil
+			}
+		},
+	}
+}
+
+// needsAddrHooks implement Section 4.2: detect abrupt server failure as EOF
+// on the blocking read, ask the replica group for the new primary within
+// the query timeout, redirect the connection, and fabricate a
+// NEEDS_ADDRESSING_MODE reply that makes the client ORB retransmit.
+func (cm *ClientManager) needsAddrHooks() interceptor.Hooks {
+	var (
+		lastRequestID uint32
+		lastOrder     = giop.Header{Order: 0}
+		haveRequest   bool
+	)
+	return interceptor.Hooks{
+		OnWriteFrame: func(c *interceptor.Conn, f giop.Frame) ([]byte, error) {
+			if f.Kind == giop.FrameGIOP && f.Header.Type == giop.MsgRequest {
+				if id, err := giop.RequestIDOf(f.Header.Order, f.Body()); err == nil {
+					lastRequestID = id
+					lastOrder = f.Header
+					haveRequest = true
+				}
+			}
+			return f.Raw, nil
+		},
+		OnReadEOF: func(c *interceptor.Conn, readErr error) ([]byte, bool) {
+			if !haveRequest {
+				return nil, false
+			}
+			primary, ok := cm.queryPrimary()
+			if !ok {
+				return nil, false // timeout: COMM_FAILURE reaches the app
+			}
+			newConn, err := net.DialTimeout("tcp", primary.Addr, cm.cfg.DialTimeout)
+			if err != nil {
+				return nil, false
+			}
+			c.SwapUnder(newConn)
+			cm.noteFailover(primary.Addr)
+			fabricated := giop.EncodeReply(lastOrder.Order, giop.ReplyHeader{
+				RequestID: lastRequestID,
+				Status:    giop.ReplyNeedsAddressingMode,
+			}, nil)
+			return fabricated, true
+		},
+	}
+}
+
+// queryPrimary multicasts a primary query to the server group and waits for
+// the first PrimaryIs answer within the query timeout. "At this point,
+// there is no agreed-upon primary replica to service the client request" is
+// the failure case the paper observed in 25% of server failures.
+func (cm *ClientManager) queryPrimary() (PrimaryIs, bool) {
+	member := cm.cfg.Member
+	// Drain stale answers from previous queries.
+	for {
+		select {
+		case <-member.Deliveries():
+			continue
+		default:
+		}
+		break
+	}
+	if err := member.Multicast(cm.cfg.Group, EncodeQueryPrimary(QueryPrimary{ReplyTo: member.Name()})); err != nil {
+		return PrimaryIs{}, false
+	}
+	deadline := time.NewTimer(cm.cfg.QueryTimeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case d, ok := <-member.Deliveries():
+			if !ok {
+				return PrimaryIs{}, false
+			}
+			if d.Kind != gcs.DeliverPrivate {
+				continue
+			}
+			msg, err := DecodeMessage(d.Payload)
+			if err != nil {
+				continue
+			}
+			if p, ok := msg.(PrimaryIs); ok {
+				return p, true
+			}
+		case <-deadline.C:
+			return PrimaryIs{}, false
+		}
+	}
+}

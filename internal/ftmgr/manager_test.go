@@ -1,0 +1,384 @@
+package ftmgr
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mead/internal/cdr"
+	"mead/internal/gcs"
+	"mead/internal/giop"
+	"mead/internal/resource"
+)
+
+const testGroup = "mead.timeofday"
+
+func startHub(t *testing.T) *gcs.Hub {
+	t.Helper()
+	h := gcs.NewHub()
+	if err := h.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	return h
+}
+
+func dialMember(t *testing.T, h *gcs.Hub, name string) *gcs.Member {
+	t.Helper()
+	m, err := gcs.Dial(h.Addr(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	return m
+}
+
+// managerNode bundles a Manager with a delivery pump, as a replica would.
+type managerNode struct {
+	m      *Manager
+	member *gcs.Member
+}
+
+func newManagerNode(t *testing.T, h *gcs.Hub, name string, scheme Scheme, mon Monitor) *managerNode {
+	t.Helper()
+	member := dialMember(t, h, name)
+	m, err := NewManager(Config{
+		ReplicaName: name,
+		Group:       testGroup,
+		Scheme:      scheme,
+		Monitor:     mon,
+		Member:      member,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := member.Join(testGroup); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for d := range member.Deliveries() {
+			m.HandleDelivery(d)
+		}
+	}()
+	node := &managerNode{m: m, member: member}
+	// Wait until this node's own join is reflected in its view, so joins
+	// from successively created nodes are strictly ordered.
+	waitFor(t, name+" to join", func() bool {
+		for _, member := range m.View().Members {
+			if member == name {
+				return true
+			}
+		}
+		return false
+	})
+	return node
+}
+
+func budgetAt(t *testing.T, frac float64) *resource.Budget {
+	t.Helper()
+	b, err := resource.NewBudget("memory", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Consume(int64(frac * 1000))
+	return b
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	h := startHub(t)
+	member := dialMember(t, h, "v1")
+	mon := budgetAt(t, 0)
+	if _, err := NewManager(Config{Monitor: mon}); err == nil {
+		t.Fatal("nil member accepted")
+	}
+	if _, err := NewManager(Config{Member: member}); err == nil {
+		t.Fatal("nil monitor accepted")
+	}
+	if _, err := NewManager(Config{Member: member, Monitor: mon,
+		LaunchThreshold: 0.95, MigrateThreshold: 0.9}); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+	m, err := NewManager(Config{Member: member, Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.cfg.LaunchThreshold != DefaultLaunchThreshold ||
+		m.cfg.MigrateThreshold != DefaultMigrateThreshold {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestAnnouncePropagationAndNextReplica(t *testing.T) {
+	h := startHub(t)
+	mon := budgetAt(t, 0)
+	n1 := newManagerNode(t, h, "r1", MeadMessage, mon)
+	n2 := newManagerNode(t, h, "r2", MeadMessage, mon)
+	n3 := newManagerNode(t, h, "r3", MeadMessage, mon)
+
+	for i, n := range []*managerNode{n1, n2, n3} {
+		port := uint16(7001 + i)
+		if err := n.m.AnnounceSelf(n.member.Name()+"-addr", []giop.IOR{sampleIOR(port)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	waitFor(t, "r1 to learn all replicas", func() bool { return len(n1.m.Replicas()) == 3 })
+	waitFor(t, "r3 to learn all replicas", func() bool { return len(n3.m.Replicas()) == 3 })
+
+	next, ok := n1.m.NextReplica()
+	if !ok || next.Name != "r2" {
+		t.Fatalf("next after r1 = %+v, %v", next, ok)
+	}
+	next, ok = n3.m.NextReplica()
+	if !ok || next.Name != "r1" {
+		t.Fatalf("next after r3 = %+v, %v (should wrap)", next, ok)
+	}
+	if !n1.m.IsPrimary() || n2.m.IsPrimary() {
+		t.Fatal("primary flags wrong")
+	}
+}
+
+func TestNextReplicaSkipsDeparted(t *testing.T) {
+	h := startHub(t)
+	mon := budgetAt(t, 0)
+	n1 := newManagerNode(t, h, "r1", MeadMessage, mon)
+	n2 := newManagerNode(t, h, "r2", MeadMessage, mon)
+	n3 := newManagerNode(t, h, "r3", MeadMessage, mon)
+	for _, n := range []*managerNode{n1, n2, n3} {
+		_ = n.m.AnnounceSelf("addr-"+n.member.Name(), nil)
+	}
+	waitFor(t, "full membership", func() bool { return len(n1.m.Replicas()) == 3 })
+
+	_ = n2.member.Close() // r2 crashes
+	waitFor(t, "view without r2", func() bool { return len(n1.m.View().Members) == 2 })
+	next, ok := n1.m.NextReplica()
+	if !ok || next.Name != "r3" {
+		t.Fatalf("next after r1 with r2 dead = %+v, %v", next, ok)
+	}
+}
+
+func TestSyncListRebroadcastByCoordinator(t *testing.T) {
+	// A late joiner must learn earlier replicas' endpoints from the
+	// coordinator's SyncList even though it missed their Announces.
+	h := startHub(t)
+	mon := budgetAt(t, 0)
+	n1 := newManagerNode(t, h, "r1", MeadMessage, mon)
+	_ = n1.m.AnnounceSelf("addr-r1", []giop.IOR{sampleIOR(7001)})
+	waitFor(t, "r1 self-announce", func() bool { return len(n1.m.Replicas()) == 1 })
+
+	n2 := newManagerNode(t, h, "r2", MeadMessage, mon)
+	// n2 never saw r1's announce; the view change triggers r1 (the
+	// coordinator) to re-sync the listing.
+	waitFor(t, "r2 to learn r1 via sync", func() bool {
+		for _, a := range n2.m.Replicas() {
+			if a.Name == "r1" && a.Addr == "addr-r1" {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestThresholdNoticeFiresOnce(t *testing.T) {
+	h := startHub(t)
+	b := budgetAt(t, 0)
+	node := newManagerNode(t, h, "r1", MeadMessage, b)
+	_ = node.m.AnnounceSelf("addr", nil)
+
+	// Observer subscribed to the group sees the notice. Wait for its own
+	// join view so the notice cannot race its membership.
+	observer := dialMember(t, h, "obs")
+	_ = observer.Join(testGroup)
+	for d := range observer.Deliveries() {
+		if d.Kind == gcs.DeliverView {
+			break
+		}
+	}
+
+	if node.m.checkThresholds() {
+		t.Fatal("migrating below thresholds")
+	}
+	b.Consume(850) // 85% > launch, < migrate
+	if node.m.checkThresholds() {
+		t.Fatal("migrating below migrate threshold")
+	}
+	_ = node.m.checkThresholds() // second crossing: no duplicate notice
+
+	var notices atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		timeout := time.After(2 * time.Second)
+		for {
+			select {
+			case d, ok := <-observer.Deliveries():
+				if !ok {
+					return
+				}
+				if d.Kind != gcs.DeliverData {
+					continue
+				}
+				if msg, err := DecodeMessage(d.Payload); err == nil {
+					if _, isNotice := msg.(Notice); isNotice {
+						notices.Add(1)
+					}
+				}
+			case <-timeout:
+				return
+			}
+		}
+	}()
+	<-done
+	if notices.Load() != 1 {
+		t.Fatalf("notices observed = %d, want exactly 1", notices.Load())
+	}
+}
+
+func TestMigrateThresholdFiresCallback(t *testing.T) {
+	h := startHub(t)
+	b := budgetAt(t, 0)
+	member := dialMember(t, h, "r1")
+	var migrated atomic.Int32
+	m, err := NewManager(Config{
+		ReplicaName: "r1", Group: testGroup, Scheme: MeadMessage,
+		Monitor: b, Member: member,
+		OnMigrate: func() { migrated.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Consume(950)
+	if !m.checkThresholds() {
+		t.Fatal("not migrating at 95%")
+	}
+	_ = m.checkThresholds()
+	if migrated.Load() != 1 {
+		t.Fatalf("OnMigrate fired %d times", migrated.Load())
+	}
+	if !m.Migrating() {
+		t.Fatal("Migrating() = false")
+	}
+}
+
+func TestPrimaryQueryAnswered(t *testing.T) {
+	h := startHub(t)
+	mon := budgetAt(t, 0)
+	n1 := newManagerNode(t, h, "r1", NeedsAddressing, mon)
+	n2 := newManagerNode(t, h, "r2", NeedsAddressing, mon)
+	_ = n1.m.AnnounceSelf("addr-r1", []giop.IOR{sampleIOR(7001)})
+	_ = n2.m.AnnounceSelf("addr-r2", nil)
+	waitFor(t, "membership", func() bool { return len(n1.m.Replicas()) == 2 })
+
+	client := dialMember(t, h, "client-1")
+	// Ensure registration before multicasting (join a scratch group).
+	_ = client.Join("scratch")
+	<-client.Deliveries()
+
+	if err := client.Multicast(testGroup, EncodeQueryPrimary(QueryPrimary{ReplyTo: "client-1"})); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case d := <-client.Deliveries():
+			if d.Kind != gcs.DeliverPrivate {
+				continue
+			}
+			msg, err := DecodeMessage(d.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, ok := msg.(PrimaryIs)
+			if !ok {
+				continue
+			}
+			if p.Name != "r1" || p.Addr != "addr-r1" {
+				t.Fatalf("primary answer = %+v", p)
+			}
+			return
+		case <-deadline:
+			t.Fatal("no primary answer")
+		}
+	}
+}
+
+func TestForwardIORLookup(t *testing.T) {
+	h := startHub(t)
+	mon := budgetAt(t, 0)
+	n1 := newManagerNode(t, h, "r1", LocationForward, mon)
+	n2 := newManagerNode(t, h, "r2", LocationForward, mon)
+	key := giop.MakeObjectKey("timeofday", "clock")
+	_ = n1.m.AnnounceSelf("a1", []giop.IOR{giop.NewIOR("IDL:t:1.0", "127.0.0.1", 1, key)})
+	_ = n2.m.AnnounceSelf("a2", []giop.IOR{giop.NewIOR("IDL:t:1.0", "127.0.0.1", 2, key)})
+	waitFor(t, "membership", func() bool { return len(n1.m.Replicas()) == 2 })
+
+	ior, addr, ok := n1.m.forwardIORFor(key)
+	if !ok {
+		t.Fatal("no forward IOR")
+	}
+	if addr != "a2" {
+		t.Fatalf("forward addr = %q", addr)
+	}
+	prof, _ := ior.IIOP()
+	if prof.Port != 2 {
+		t.Fatalf("forward port = %d", prof.Port)
+	}
+	if _, _, ok := n1.m.forwardIORFor([]byte("unknown-key")); ok {
+		t.Fatal("unknown key produced a forward IOR")
+	}
+}
+
+func TestCheckThresholdsCountsFromWritePath(t *testing.T) {
+	// Verifies the LOCATION_FORWARD rewrite path produces a correct
+	// fabricated reply once migrating.
+	h := startHub(t)
+	b := budgetAt(t, 0.95)
+	n1 := newManagerNode(t, h, "r1", LocationForward, b)
+	n2 := newManagerNode(t, h, "r2", LocationForward, b)
+	key := giop.MakeObjectKey("timeofday", "clock")
+	_ = n1.m.AnnounceSelf("a1", []giop.IOR{giop.NewIOR("IDL:t:1.0", "127.0.0.1", 1, key)})
+	_ = n2.m.AnnounceSelf("a2", []giop.IOR{giop.NewIOR("IDL:t:1.0", "127.0.0.1", 2, key)})
+	waitFor(t, "membership", func() bool { return len(n1.m.Replicas()) == 2 })
+
+	st := &connState{lastRequestID: 77, lastObjectKey: key, haveRequest: true}
+	n1.m.checkThresholds()
+	orig := giop.EncodeReply(cdr.BigEndian, giop.ReplyHeader{RequestID: 77, Status: giop.ReplyNoException}, nil)
+	frame := giop.Frame{Kind: giop.FrameGIOP, Header: giop.Header{Major: 1, Order: cdr.BigEndian, Type: giop.MsgReply, Size: uint32(len(orig) - giop.HeaderLen)}, Raw: orig}
+	out, err := n1.m.rewriteLocationForward(st, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := giop.ParseHeader(out[:giop.HeaderLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, d, err := giop.DecodeReply(h2.Order, out[giop.HeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Status != giop.ReplyLocationForward || rh.RequestID != 77 {
+		t.Fatalf("rewritten reply = %+v", rh)
+	}
+	fwd, err := giop.DecodeIOR(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := fwd.IIOP()
+	if prof.Port != 2 {
+		t.Fatalf("forwarded to port %d", prof.Port)
+	}
+	if n1.m.Migrations() != 1 {
+		t.Fatalf("migrations = %d", n1.m.Migrations())
+	}
+}

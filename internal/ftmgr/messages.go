@@ -1,0 +1,229 @@
+package ftmgr
+
+import (
+	"fmt"
+	"math"
+
+	"mead/internal/cdr"
+	"mead/internal/giop"
+)
+
+// Message kinds carried over the group-communication system among the
+// fault-tolerance managers, the Recovery Manager, and (for the
+// NEEDS_ADDRESSING scheme) querying clients.
+const (
+	kindAnnounce     byte = 1
+	kindSync         byte = 2
+	kindNotice       byte = 3
+	kindQueryPrimary byte = 4
+	kindPrimaryIs    byte = 5
+	kindCheckpoint   byte = 6
+)
+
+// Announce advertises one replica's endpoint and object references. Each
+// replica broadcasts it on startup ("we intercept the IOR returned by the
+// Naming Service when each server replica registers its objects ... We then
+// broadcast these IORs, through the Spread group communication system, to
+// the MEAD Fault-Tolerance Managers collocated with the server replicas").
+type Announce struct {
+	Name string
+	Addr string
+	IORs []giop.IOR
+}
+
+// SyncList redistributes the full replica listing; the first replica in a
+// new view sends it to synchronize the group after membership changes.
+type SyncList struct {
+	Replicas []Announce
+}
+
+// Notice is the proactive fault notification sent when a replica crosses
+// its launch threshold; the Recovery Manager reacts by preparing a
+// replacement.
+type Notice struct {
+	Replica  string
+	Resource string
+	Usage    float64
+}
+
+// QueryPrimary asks the replica group for the current primary's address
+// (the NEEDS_ADDRESSING client's EOF recovery path).
+type QueryPrimary struct {
+	ReplyTo string
+}
+
+// PrimaryIs answers a QueryPrimary; the first replica in the group view
+// responds.
+type PrimaryIs struct {
+	Name string
+	Addr string
+	IORs []giop.IOR
+}
+
+// Checkpoint carries warm-passive state from the primary to the backups.
+type Checkpoint struct {
+	From string
+	Seq  uint64
+	Data []byte
+}
+
+func encodeAnnounceBody(e *cdr.Encoder, a Announce) {
+	e.WriteString(a.Name)
+	e.WriteString(a.Addr)
+	e.WriteULong(uint32(len(a.IORs)))
+	for _, ior := range a.IORs {
+		giop.EncodeIOR(e, ior)
+	}
+}
+
+func decodeAnnounceBody(d *cdr.Decoder) (Announce, error) {
+	var a Announce
+	var err error
+	if a.Name, err = d.ReadString(); err != nil {
+		return a, err
+	}
+	if a.Addr, err = d.ReadString(); err != nil {
+		return a, err
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return a, err
+	}
+	if n > 1024 {
+		return a, fmt.Errorf("ftmgr: implausible IOR count %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		ior, err := giop.DecodeIOR(d)
+		if err != nil {
+			return a, err
+		}
+		a.IORs = append(a.IORs, ior)
+	}
+	return a, nil
+}
+
+// EncodeAnnounce renders an Announce message payload.
+func EncodeAnnounce(a Announce) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(kindAnnounce)
+	encodeAnnounceBody(e, a)
+	return e.Bytes()
+}
+
+// EncodeSyncList renders a SyncList message payload.
+func EncodeSyncList(s SyncList) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(kindSync)
+	e.WriteULong(uint32(len(s.Replicas)))
+	for _, a := range s.Replicas {
+		encodeAnnounceBody(e, a)
+	}
+	return e.Bytes()
+}
+
+// EncodeNotice renders a proactive fault notification payload.
+func EncodeNotice(n Notice) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(kindNotice)
+	e.WriteString(n.Replica)
+	e.WriteString(n.Resource)
+	e.WriteULongLong(math.Float64bits(n.Usage))
+	return e.Bytes()
+}
+
+// EncodeQueryPrimary renders a primary query payload.
+func EncodeQueryPrimary(q QueryPrimary) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(kindQueryPrimary)
+	e.WriteString(q.ReplyTo)
+	return e.Bytes()
+}
+
+// EncodePrimaryIs renders a primary answer payload.
+func EncodePrimaryIs(p PrimaryIs) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(kindPrimaryIs)
+	encodeAnnounceBody(e, Announce{Name: p.Name, Addr: p.Addr, IORs: p.IORs})
+	return e.Bytes()
+}
+
+// EncodeCheckpoint renders a state-transfer payload.
+func EncodeCheckpoint(c Checkpoint) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(kindCheckpoint)
+	e.WriteString(c.From)
+	e.WriteULongLong(c.Seq)
+	e.WriteOctets(c.Data)
+	return e.Bytes()
+}
+
+// DecodeMessage parses any fault-tolerance message payload, returning one
+// of Announce, SyncList, Notice, QueryPrimary, PrimaryIs, or Checkpoint.
+func DecodeMessage(payload []byte) (interface{}, error) {
+	d := cdr.NewDecoder(payload, cdr.BigEndian)
+	kind, err := d.ReadOctet()
+	if err != nil {
+		return nil, fmt.Errorf("ftmgr: empty message: %w", err)
+	}
+	switch kind {
+	case kindAnnounce:
+		return decodeAnnounceBody(d)
+	case kindSync:
+		n, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		if n > 4096 {
+			return nil, fmt.Errorf("ftmgr: implausible sync size %d", n)
+		}
+		var s SyncList
+		for i := uint32(0); i < n; i++ {
+			a, err := decodeAnnounceBody(d)
+			if err != nil {
+				return nil, err
+			}
+			s.Replicas = append(s.Replicas, a)
+		}
+		return s, nil
+	case kindNotice:
+		var n Notice
+		if n.Replica, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if n.Resource, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		bits, err := d.ReadULongLong()
+		if err != nil {
+			return nil, err
+		}
+		n.Usage = math.Float64frombits(bits)
+		return n, nil
+	case kindQueryPrimary:
+		var q QueryPrimary
+		if q.ReplyTo, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		return q, nil
+	case kindPrimaryIs:
+		a, err := decodeAnnounceBody(d)
+		if err != nil {
+			return nil, err
+		}
+		return PrimaryIs{Name: a.Name, Addr: a.Addr, IORs: a.IORs}, nil
+	case kindCheckpoint:
+		var c Checkpoint
+		if c.From, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if c.Seq, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if c.Data, err = d.ReadOctets(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("ftmgr: unknown message kind %d", kind)
+	}
+}

@@ -1,0 +1,79 @@
+// Package ftmgr implements the MEAD Proactive Fault-Tolerance Manager —
+// the paper's primary contribution. It is "embedded within the server-side
+// and client-side Interceptors" (Section 3.2): it monitors resource usage
+// at the server, triggers the two-step proactive recovery thresholds, keeps
+// the replica address/IOR tables synchronized over the group-communication
+// system, and provides the interceptor hooks that realize the three
+// proactive hand-off schemes of Section 4.
+package ftmgr
+
+import "fmt"
+
+// Scheme selects a recovery strategy — the five rows of Table 1.
+type Scheme int
+
+// Recovery schemes.
+const (
+	// ReactiveNoCache: the client waits for a failure, then asks the
+	// Naming Service for the next replica (baseline).
+	ReactiveNoCache Scheme = iota + 1
+	// ReactiveCache: the client pre-resolves all replica references and
+	// walks the cache on failure; stale entries raise TRANSIENT.
+	ReactiveCache
+	// NeedsAddressing: on abrupt server EOF the client interceptor asks
+	// the replica group for the new primary (10 ms timeout) and fabricates
+	// a GIOP NEEDS_ADDRESSING_MODE reply to force a retransmission.
+	NeedsAddressing
+	// LocationForward: past the migration threshold the server interceptor
+	// suppresses normal replies and fabricates GIOP LOCATION_FORWARD
+	// replies carrying the next replica's IOR.
+	LocationForward
+	// MeadMessage: past the migration threshold the server interceptor
+	// piggybacks a MEAD fail-over message (next replica's address) onto
+	// the regular reply; the client interceptor redirects its connection.
+	MeadMessage
+)
+
+// Proactive reports whether the scheme uses server-side threshold-triggered
+// migration (LOCATION_FORWARD and MEAD message do; NEEDS_ADDRESSING is the
+// "insufficient advance warning" case and reacts to EOF at the client).
+func (s Scheme) Proactive() bool {
+	return s == LocationForward || s == MeadMessage
+}
+
+// Reactive reports whether the scheme is a classical reactive baseline.
+func (s Scheme) Reactive() bool {
+	return s == ReactiveNoCache || s == ReactiveCache
+}
+
+func (s Scheme) String() string {
+	switch s {
+	case ReactiveNoCache:
+		return "reactive-nocache"
+	case ReactiveCache:
+		return "reactive-cache"
+	case NeedsAddressing:
+		return "needs-addressing"
+	case LocationForward:
+		return "location-forward"
+	case MeadMessage:
+		return "mead-message"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme parses the String form back into a Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	for _, sc := range []Scheme{ReactiveNoCache, ReactiveCache, NeedsAddressing, LocationForward, MeadMessage} {
+		if sc.String() == s {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("ftmgr: unknown scheme %q", s)
+}
+
+// Schemes lists all five strategies in Table 1 order.
+func Schemes() []Scheme {
+	return []Scheme{ReactiveNoCache, ReactiveCache, NeedsAddressing, LocationForward, MeadMessage}
+}

@@ -1,0 +1,43 @@
+package ftmgr
+
+import "testing"
+
+func TestSchemeStringsAndParse(t *testing.T) {
+	for _, s := range Schemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("nonsense"); err == nil {
+		t.Fatal("unknown scheme parsed")
+	}
+	if Scheme(99).String() != "Scheme(99)" {
+		t.Fatal("unknown scheme String")
+	}
+}
+
+func TestSchemeClassification(t *testing.T) {
+	tests := []struct {
+		s         Scheme
+		proactive bool
+		reactive  bool
+	}{
+		{ReactiveNoCache, false, true},
+		{ReactiveCache, false, true},
+		{NeedsAddressing, false, false},
+		{LocationForward, true, false},
+		{MeadMessage, true, false},
+	}
+	for _, tt := range tests {
+		if tt.s.Proactive() != tt.proactive || tt.s.Reactive() != tt.reactive {
+			t.Errorf("%v: Proactive=%v Reactive=%v", tt.s, tt.s.Proactive(), tt.s.Reactive())
+		}
+	}
+}
+
+func TestSchemesCount(t *testing.T) {
+	if len(Schemes()) != 5 {
+		t.Fatalf("Schemes() = %d entries, want 5 (Table 1 rows)", len(Schemes()))
+	}
+}

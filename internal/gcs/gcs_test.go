@@ -1,0 +1,399 @@
+package gcs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func startHub(t *testing.T) *Hub {
+	t.Helper()
+	h := NewHub()
+	if err := h.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	return h
+}
+
+func dial(t *testing.T, h *Hub, name string) *Member {
+	t.Helper()
+	m, err := Dial(h.Addr(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	return m
+}
+
+// next pulls the next delivery with a timeout.
+func next(t *testing.T, m *Member) Delivery {
+	t.Helper()
+	select {
+	case d, ok := <-m.Deliveries():
+		if !ok {
+			t.Fatalf("member %s: delivery channel closed", m.Name())
+		}
+		return d
+	case <-time.After(5 * time.Second):
+		t.Fatalf("member %s: timed out waiting for delivery", m.Name())
+		panic("unreachable")
+	}
+}
+
+// nextOfKind skips deliveries until one of the wanted kind arrives.
+func nextOfKind(t *testing.T, m *Member, kind DeliveryKind) Delivery {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		d := next(t, m)
+		if d.Kind == kind {
+			return d
+		}
+	}
+	t.Fatalf("member %s: no delivery of kind %d in 100 events", m.Name(), kind)
+	panic("unreachable")
+}
+
+func TestJoinDeliversView(t *testing.T) {
+	h := startHub(t)
+	a := dial(t, h, "a")
+	if err := a.Join("g"); err != nil {
+		t.Fatal(err)
+	}
+	d := next(t, a)
+	if d.Kind != DeliverView {
+		t.Fatalf("first delivery kind = %d, want view", d.Kind)
+	}
+	if len(d.View.Members) != 1 || d.View.Members[0] != "a" {
+		t.Fatalf("view members = %v", d.View.Members)
+	}
+	if d.View.Primary() != "a" {
+		t.Fatalf("primary = %q", d.View.Primary())
+	}
+}
+
+func TestViewOrderIsJoinOrder(t *testing.T) {
+	h := startHub(t)
+	a := dial(t, h, "a")
+	_ = a.Join("g")
+	next(t, a) // view {a}
+	b := dial(t, h, "b")
+	_ = b.Join("g")
+	va := next(t, a) // view {a,b}
+	if va.Kind != DeliverView || len(va.View.Members) != 2 ||
+		va.View.Members[0] != "a" || va.View.Members[1] != "b" {
+		t.Fatalf("view after second join = %+v", va.View)
+	}
+	if got := h.Members("g"); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("hub members = %v", got)
+	}
+}
+
+func TestSelfDeliveryAndTotalOrder(t *testing.T) {
+	h := startHub(t)
+	a := dial(t, h, "a")
+	b := dial(t, h, "b")
+	_ = a.Join("g")
+	next(t, a)
+	_ = b.Join("g")
+	next(t, a)
+	next(t, b)
+
+	// Fire interleaved multicasts from both members.
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Multicast("g", []byte(fmt.Sprintf("a%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Multicast("g", []byte(fmt.Sprintf("b%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqA := make([]uint64, 0, 2*n)
+	msgA := make([]string, 0, 2*n)
+	for i := 0; i < 2*n; i++ {
+		d := nextOfKind(t, a, DeliverData)
+		seqA = append(seqA, d.Seq)
+		msgA = append(msgA, string(d.Payload))
+	}
+	seqB := make([]uint64, 0, 2*n)
+	msgB := make([]string, 0, 2*n)
+	for i := 0; i < 2*n; i++ {
+		d := nextOfKind(t, b, DeliverData)
+		seqB = append(seqB, d.Seq)
+		msgB = append(msgB, string(d.Payload))
+	}
+	// Total order: both members observe identical sequences.
+	for i := range seqA {
+		if seqA[i] != seqB[i] || msgA[i] != msgB[i] {
+			t.Fatalf("order divergence at %d: a=(%d,%s) b=(%d,%s)",
+				i, seqA[i], msgA[i], seqB[i], msgB[i])
+		}
+		if i > 0 && seqA[i] <= seqA[i-1] {
+			t.Fatalf("sequence not increasing at %d: %v", i, seqA[:i+1])
+		}
+	}
+}
+
+func TestOpenGroupMulticast(t *testing.T) {
+	h := startHub(t)
+	member := dial(t, h, "member")
+	outsider := dial(t, h, "outsider")
+	_ = member.Join("g")
+	next(t, member)
+
+	if err := outsider.Multicast("g", []byte("hello from outside")); err != nil {
+		t.Fatal(err)
+	}
+	d := nextOfKind(t, member, DeliverData)
+	if d.Sender != "outsider" || string(d.Payload) != "hello from outside" {
+		t.Fatalf("delivery = %+v", d)
+	}
+	// Non-member sender must NOT receive its own multicast.
+	select {
+	case got := <-outsider.Deliveries():
+		t.Fatalf("outsider received %+v", got)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestPrivateSend(t *testing.T) {
+	h := startHub(t)
+	a := dial(t, h, "a")
+	b := dial(t, h, "b")
+	// Joining and seeing the view guarantees b's registration completed
+	// before the private send races it to the hub.
+	_ = b.Join("sync")
+	next(t, b)
+	if err := a.Send("b", []byte("psst")); err != nil {
+		t.Fatal(err)
+	}
+	d := next(t, b)
+	if d.Kind != DeliverPrivate || d.Sender != "a" || string(d.Payload) != "psst" {
+		t.Fatalf("private delivery = %+v", d)
+	}
+	// Send to an unknown member is silently dropped, not an error.
+	if err := a.Send("nobody", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashTriggersViewChange(t *testing.T) {
+	h := startHub(t)
+	a := dial(t, h, "a")
+	b := dial(t, h, "b")
+	_ = a.Join("g")
+	next(t, a)
+	_ = b.Join("g")
+	next(t, a)
+	next(t, b)
+
+	// Abrupt disconnect of a (simulated crash).
+	_ = a.Close()
+	d := nextOfKind(t, b, DeliverView)
+	if len(d.View.Members) != 1 || d.View.Members[0] != "b" {
+		t.Fatalf("post-crash view = %v", d.View.Members)
+	}
+	if d.View.Primary() != "b" {
+		t.Fatalf("post-crash primary = %q", d.View.Primary())
+	}
+}
+
+func TestLeaveTriggersViewChange(t *testing.T) {
+	h := startHub(t)
+	a := dial(t, h, "a")
+	b := dial(t, h, "b")
+	_ = a.Join("g")
+	next(t, a)
+	_ = b.Join("g")
+	next(t, a)
+	next(t, b)
+	if err := a.Leave("g"); err != nil {
+		t.Fatal(err)
+	}
+	d := nextOfKind(t, b, DeliverView)
+	if len(d.View.Members) != 1 || d.View.Members[0] != "b" {
+		t.Fatalf("post-leave view = %v", d.View.Members)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	h := startHub(t)
+	m1 := dial(t, h, "dup")
+	// Ensure m1's registration completed before the duplicate dial.
+	_ = m1.Join("sync")
+	next(t, m1)
+	m2, err := Dial(h.Addr(), "dup")
+	if err != nil {
+		// Either the dial fails outright or the member is closed shortly.
+		return
+	}
+	select {
+	case <-m2.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("duplicate member was not disconnected")
+	}
+}
+
+func TestMulticastAfterCloseFails(t *testing.T) {
+	h := startHub(t)
+	a := dial(t, h, "a")
+	_ = a.Close()
+	if err := a.Multicast("g", []byte("x")); err == nil {
+		t.Fatal("multicast on closed member succeeded")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	h := startHub(t)
+	a := dial(t, h, "a")
+	b := dial(t, h, "b")
+	_ = a.Join("g")
+	next(t, a)
+	_ = b.Join("g")
+	next(t, a)
+	next(t, b)
+
+	before, _ := h.GroupTraffic("g")
+	payload := make([]byte, 100)
+	_ = a.Multicast("g", payload)
+	nextOfKind(t, a, DeliverData)
+	nextOfKind(t, b, DeliverData)
+	after, _ := h.GroupTraffic("g")
+	// 1 inbound frame + 2 delivered frames, each >= 100 bytes.
+	if after-before < 300 {
+		t.Fatalf("traffic delta = %d, want >= 300", after-before)
+	}
+
+	h.ResetTraffic()
+	if n, _ := h.GroupTraffic("g"); n != 0 {
+		t.Fatalf("traffic after reset = %d", n)
+	}
+}
+
+func TestViewSeqSharesDataOrder(t *testing.T) {
+	// Views and data share one sequence space per group so that membership
+	// changes are ordered relative to messages (virtual synchrony).
+	h := startHub(t)
+	a := dial(t, h, "a")
+	_ = a.Join("g")
+	v1 := next(t, a)
+	_ = a.Multicast("g", []byte("m"))
+	d := nextOfKind(t, a, DeliverData)
+	if d.Seq <= v1.Seq {
+		t.Fatalf("data seq %d not after view seq %d", d.Seq, v1.Seq)
+	}
+}
+
+func TestHubCloseDisconnectsMembers(t *testing.T) {
+	h := NewHub()
+	if err := h.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Dial(h.Addr(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-m.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("member not disconnected on hub close")
+	}
+	_ = m.Close()
+}
+
+func TestHubDoubleCloseSafe(t *testing.T) {
+	h := NewHub()
+	if err := h.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejoinIsIdempotent(t *testing.T) {
+	h := startHub(t)
+	a := dial(t, h, "a")
+	_ = a.Join("g")
+	next(t, a)
+	_ = a.Join("g")
+	d := nextOfKind(t, a, DeliverView)
+	if len(d.View.Members) != 1 {
+		t.Fatalf("double join duplicated member: %v", d.View.Members)
+	}
+}
+
+func TestManyMembersViewConsistency(t *testing.T) {
+	h := startHub(t)
+	const n = 8
+	members := make([]*Member, n)
+	for i := 0; i < n; i++ {
+		members[i] = dial(t, h, fmt.Sprintf("m%d", i))
+		if err := members[i].Join("g"); err != nil {
+			t.Fatal(err)
+		}
+		// Wait for this member's own view so joins are strictly ordered.
+		nextOfKind(t, members[i], DeliverView)
+	}
+	// Eventually the hub's membership has all n in join order.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := h.Members("g")
+		if len(got) == n {
+			for i, name := range got {
+				if name != fmt.Sprintf("m%d", i) {
+					t.Fatalf("membership order = %v", got)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("membership never reached %d: %v", n, got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDeliveryDelayApplied(t *testing.T) {
+	h := NewHub(WithDeliveryDelay(30 * time.Millisecond))
+	if err := h.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	m, err := Dial(h.Addr(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	_ = m.Join("g")
+	next(t, m) // view (also delayed; consumes the join latency)
+
+	start := time.Now()
+	if err := m.Multicast("g", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	nextOfKind(t, m, DeliverData)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("self-delivery took %v, want >= ~30ms latency", elapsed)
+	}
+}
+
+func TestNoDelayByDefaultIsFast(t *testing.T) {
+	h := startHub(t)
+	m := dial(t, h, "a")
+	_ = m.Join("g")
+	next(t, m)
+	start := time.Now()
+	_ = m.Multicast("g", []byte("x"))
+	nextOfKind(t, m, DeliverData)
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("loopback delivery took %v", elapsed)
+	}
+}

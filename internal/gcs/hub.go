@@ -1,0 +1,539 @@
+package gcs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"mead/internal/cdr"
+)
+
+// Hub is the group-communication sequencer: the single point through which
+// all multicasts flow, which is what gives the system total order per group
+// and a consistent, ordered view of membership changes. It plays the role of
+// the Spread daemon in the paper's deployment.
+type Hub struct {
+	ln     net.Listener
+	events chan hubEvent
+	done   chan struct{}
+	loop   chan struct{} // closed when the run loop exits
+
+	delay  time.Duration // artificial delivery latency (LAN emulation)
+	jitter time.Duration // uniform random extra latency per delivery
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu      sync.Mutex
+	conns   map[string]*hubConn
+	groups  map[string]*hubGroup
+	traffic map[string]uint64 // on-wire bytes per group
+	started time.Time
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type hubGroup struct {
+	seq     uint64
+	viewID  uint64
+	members []string // join order; index 0 is the oldest member
+}
+
+type hubConn struct {
+	name string
+	conn net.Conn
+	out  chan outFrame
+	quit chan struct{}
+}
+
+// outFrame is a queued delivery with its earliest send time (due is zero
+// when no artificial latency is configured).
+type outFrame struct {
+	frame []byte
+	due   time.Time
+}
+
+// HubOption configures a Hub.
+type HubOption interface{ applyHub(*Hub) }
+
+type hubOptionFunc func(*Hub)
+
+func (f hubOptionFunc) applyHub(h *Hub) { f(h) }
+
+// WithDeliveryDelay adds a fixed latency to every hub-to-member delivery,
+// emulating a LAN hop (the paper's Emulab network) instead of loopback.
+// The NEEDS_ADDRESSING scheme's failure window — the race between the
+// client's 10 ms group query and membership agreement — only opens with
+// realistic delivery latency.
+func WithDeliveryDelay(d time.Duration) HubOption {
+	return hubOptionFunc(func(h *Hub) { h.delay = d })
+}
+
+// WithDeliveryJitter adds a uniform random extra latency in [0, j) to each
+// delivery, making latency-sensitive races (the paper's partial
+// NEEDS_ADDRESSING failure rate) stochastic rather than all-or-nothing.
+// The seed keeps runs reproducible.
+func WithDeliveryJitter(j time.Duration, seed int64) HubOption {
+	return hubOptionFunc(func(h *Hub) {
+		h.jitter = j
+		h.rng = rand.New(rand.NewSource(seed))
+	})
+}
+
+type hubEventKind int
+
+const (
+	evRegister hubEventKind = iota + 1
+	evJoin
+	evLeave
+	evMcast
+	evSend
+	evGone
+)
+
+type hubEvent struct {
+	kind    hubEventKind
+	hc      *hubConn
+	group   string
+	target  string
+	payload []byte
+}
+
+// NewHub returns an unstarted Hub.
+func NewHub(opts ...HubOption) *Hub {
+	h := &Hub{
+		events:  make(chan hubEvent, 256),
+		done:    make(chan struct{}),
+		loop:    make(chan struct{}),
+		conns:   make(map[string]*hubConn),
+		groups:  make(map[string]*hubGroup),
+		traffic: make(map[string]uint64),
+	}
+	for _, o := range opts {
+		o.applyHub(h)
+	}
+	return h
+}
+
+// Start begins listening on addr (e.g. "127.0.0.1:0") and serving members.
+func (h *Hub) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("gcs: hub listen: %w", err)
+	}
+	h.ln = ln
+	h.started = time.Now()
+	h.wg.Add(2)
+	go func() {
+		defer h.wg.Done()
+		h.acceptLoop()
+	}()
+	go func() {
+		defer h.wg.Done()
+		h.run()
+	}()
+	return nil
+}
+
+// Addr returns the hub's listen address.
+func (h *Hub) Addr() string {
+	if h.ln == nil {
+		return ""
+	}
+	return h.ln.Addr().String()
+}
+
+// Close shuts the hub down and waits for its goroutines to exit.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	h.mu.Unlock()
+	close(h.done)
+	if h.ln != nil {
+		_ = h.ln.Close()
+	}
+	h.wg.Wait()
+	return nil
+}
+
+// GroupTraffic returns the cumulative on-wire bytes exchanged for the given
+// group (multicasts received plus deliveries and views sent) and the hub
+// start time, from which callers derive bytes/second for Figure 5.
+func (h *Hub) GroupTraffic(group string) (bytes uint64, since time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.traffic[group], h.started
+}
+
+// ResetTraffic zeroes the per-group byte counters and restarts the
+// accounting clock, so an experiment can scope bandwidth to its run.
+func (h *Hub) ResetTraffic() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.traffic = make(map[string]uint64)
+	h.started = time.Now()
+}
+
+// Members returns the current membership of a group in join order.
+func (h *Hub) Members(group string) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g := h.groups[group]
+	if g == nil {
+		return nil
+	}
+	out := make([]string, len(g.members))
+	copy(out, g.members)
+	return out
+}
+
+func (h *Hub) acceptLoop() {
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			h.handshake(conn)
+		}()
+	}
+}
+
+// handshake reads the member's hello, registers it, then runs its read loop.
+func (h *Hub) handshake(conn net.Conn) {
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	frame, err := readFrame(conn)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	d := cdr.NewDecoder(frame, cdr.BigEndian)
+	op, err := d.ReadOctet()
+	if err != nil || op != opHello {
+		_ = conn.Close()
+		return
+	}
+	name, err := d.ReadString()
+	if err != nil || name == "" {
+		_ = conn.Close()
+		return
+	}
+
+	hc := &hubConn{
+		name: name,
+		conn: conn,
+		out:  make(chan outFrame, 1024),
+		quit: make(chan struct{}),
+	}
+
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if _, dup := h.conns[name]; dup {
+		h.mu.Unlock()
+		_ = writeFrame(conn, encodeDenied("duplicate member name "+name))
+		_ = conn.Close()
+		return
+	}
+	h.conns[name] = hc
+	h.mu.Unlock()
+
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		hc.writeLoop()
+	}()
+	h.readLoop(hc)
+}
+
+func (hc *hubConn) writeLoop() {
+	for {
+		select {
+		case of := <-hc.out:
+			if !of.due.IsZero() {
+				if wait := time.Until(of.due); wait > 0 {
+					timer := time.NewTimer(wait)
+					select {
+					case <-timer.C:
+					case <-hc.quit:
+						timer.Stop()
+						return
+					}
+				}
+			}
+			if err := writeFrame(hc.conn, of.frame); err != nil {
+				_ = hc.conn.Close()
+				return
+			}
+		case <-hc.quit:
+			return
+		}
+	}
+}
+
+// enqueue queues a frame for the member; a full queue marks the member as a
+// slow consumer and drops the connection rather than stalling the hub.
+func (hc *hubConn) enqueue(frame []byte, due time.Time) bool {
+	select {
+	case hc.out <- outFrame{frame: frame, due: due}:
+		return true
+	default:
+		_ = hc.conn.Close()
+		return false
+	}
+}
+
+// dueTime stamps a delivery with the configured latency.
+func (h *Hub) dueTime() time.Time {
+	d := h.delay
+	if h.jitter > 0 && h.rng != nil {
+		h.rngMu.Lock()
+		d += time.Duration(h.rng.Int63n(int64(h.jitter)))
+		h.rngMu.Unlock()
+	}
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}
+
+func (h *Hub) readLoop(hc *hubConn) {
+	defer func() {
+		h.post(hubEvent{kind: evGone, hc: hc})
+	}()
+	for {
+		frame, err := readFrame(hc.conn)
+		if err != nil {
+			return
+		}
+		d := cdr.NewDecoder(frame, cdr.BigEndian)
+		op, err := d.ReadOctet()
+		if err != nil {
+			return
+		}
+		ev := hubEvent{hc: hc}
+		switch op {
+		case opJoin, opLeave:
+			group, err := d.ReadString()
+			if err != nil {
+				return
+			}
+			ev.group = group
+			if op == opJoin {
+				ev.kind = evJoin
+			} else {
+				ev.kind = evLeave
+			}
+		case opMcast:
+			group, err := d.ReadString()
+			if err != nil {
+				return
+			}
+			payload, err := d.ReadOctets()
+			if err != nil {
+				return
+			}
+			ev.kind = evMcast
+			ev.group = group
+			ev.payload = payload
+			h.addTraffic(group, frameLen(len(frame)))
+		case opSend:
+			target, err := d.ReadString()
+			if err != nil {
+				return
+			}
+			payload, err := d.ReadOctets()
+			if err != nil {
+				return
+			}
+			ev.kind = evSend
+			ev.target = target
+			ev.payload = payload
+		default:
+			return
+		}
+		if !h.post(ev) {
+			return
+		}
+	}
+}
+
+func (h *Hub) post(ev hubEvent) bool {
+	select {
+	case h.events <- ev:
+		return true
+	case <-h.done:
+		return false
+	}
+}
+
+func (h *Hub) addTraffic(group string, n uint64) {
+	h.mu.Lock()
+	h.traffic[group] += n
+	h.mu.Unlock()
+}
+
+// run is the sequencer: the single goroutine that orders every event.
+func (h *Hub) run() {
+	defer close(h.loop)
+	for {
+		select {
+		case ev := <-h.events:
+			h.handle(ev)
+		case <-h.done:
+			h.mu.Lock()
+			conns := make([]*hubConn, 0, len(h.conns))
+			for _, hc := range h.conns {
+				conns = append(conns, hc)
+			}
+			h.conns = make(map[string]*hubConn)
+			h.mu.Unlock()
+			for _, hc := range conns {
+				close(hc.quit)
+				_ = hc.conn.Close()
+			}
+			return
+		}
+	}
+}
+
+func (h *Hub) handle(ev hubEvent) {
+	switch ev.kind {
+	case evJoin:
+		h.mu.Lock()
+		g := h.groups[ev.group]
+		if g == nil {
+			g = &hubGroup{}
+			h.groups[ev.group] = g
+		}
+		if !contains(g.members, ev.hc.name) {
+			g.members = append(g.members, ev.hc.name)
+		}
+		h.mu.Unlock()
+		h.emitView(ev.group, g)
+	case evLeave:
+		h.removeFromGroup(ev.group, ev.hc.name)
+	case evMcast:
+		h.deliver(ev.group, ev.hc.name, ev.payload)
+	case evSend:
+		h.mu.Lock()
+		target := h.conns[ev.target]
+		h.mu.Unlock()
+		if target != nil {
+			target.enqueue(encodePrivate(ev.hc.name, ev.payload), h.dueTime())
+		}
+	case evGone:
+		h.mu.Lock()
+		if h.conns[ev.hc.name] == ev.hc {
+			delete(h.conns, ev.hc.name)
+		}
+		groups := make([]string, 0, len(h.groups))
+		for name, g := range h.groups {
+			if contains(g.members, ev.hc.name) {
+				groups = append(groups, name)
+			}
+		}
+		h.mu.Unlock()
+		close(ev.hc.quit)
+		_ = ev.hc.conn.Close()
+		for _, group := range groups {
+			h.removeFromGroup(group, ev.hc.name)
+		}
+	}
+}
+
+func (h *Hub) removeFromGroup(group, member string) {
+	h.mu.Lock()
+	g := h.groups[group]
+	if g == nil || !contains(g.members, member) {
+		h.mu.Unlock()
+		return
+	}
+	kept := g.members[:0]
+	for _, m := range g.members {
+		if m != member {
+			kept = append(kept, m)
+		}
+	}
+	g.members = kept
+	h.mu.Unlock()
+	h.emitView(group, g)
+}
+
+// deliver fans a data message out to every current member of the group, in
+// a single critical section so the sequence number and recipient set are
+// consistent (total order).
+func (h *Hub) deliver(group, sender string, payload []byte) {
+	h.mu.Lock()
+	g := h.groups[group]
+	if g == nil {
+		h.mu.Unlock()
+		return
+	}
+	g.seq++
+	frame := encodeDeliver(group, g.seq, sender, payload)
+	recipients := h.lookupConns(g.members)
+	h.traffic[group] += frameLen(len(frame)) * uint64(len(recipients))
+	due := h.dueTime()
+	h.mu.Unlock()
+	for _, hc := range recipients {
+		hc.enqueue(frame, due)
+	}
+}
+
+func (h *Hub) emitView(group string, g *hubGroup) {
+	h.mu.Lock()
+	if h.groups[group] != g {
+		h.mu.Unlock()
+		return
+	}
+	g.seq++
+	g.viewID++
+	members := make([]string, len(g.members))
+	copy(members, g.members)
+	frame := encodeView(group, g.viewID, g.seq, members)
+	recipients := h.lookupConns(members)
+	h.traffic[group] += frameLen(len(frame)) * uint64(len(recipients))
+	due := h.dueTime()
+	h.mu.Unlock()
+	for _, hc := range recipients {
+		hc.enqueue(frame, due)
+	}
+}
+
+// lookupConns maps member names to live connections. Callers must hold h.mu.
+func (h *Hub) lookupConns(names []string) []*hubConn {
+	out := make([]*hubConn, 0, len(names))
+	for _, n := range names {
+		if hc, ok := h.conns[n]; ok {
+			out = append(out, hc)
+		}
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrHubClosed reports use of a closed hub.
+var ErrHubClosed = errors.New("gcs: hub closed")

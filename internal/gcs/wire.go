@@ -1,0 +1,114 @@
+// Package gcs provides the totally-ordered reliable group-communication
+// substrate that MEAD layers on (the paper uses the Spread toolkit). A
+// central hub sequences all traffic, giving total order within each group,
+// reliable delivery over TCP, and view-synchronous membership: join, leave
+// and crash events are delivered as View messages in the same ordered stream
+// as data messages. Members also own a private address (their member name)
+// for point-to-point sends, mirroring Spread's private groups.
+//
+// The hub additionally accounts bytes exchanged per group, which is the
+// measurement behind Figure 5 of the paper (group-communication bandwidth
+// versus rejuvenation threshold).
+package gcs
+
+import (
+	"io"
+
+	"mead/internal/cdr"
+	"mead/internal/frame"
+)
+
+// Wire opcodes (member -> hub).
+const (
+	opHello byte = 1
+	opJoin  byte = 2
+	opLeave byte = 3
+	opMcast byte = 4
+	opSend  byte = 5
+)
+
+// Wire opcodes (hub -> member).
+const (
+	opDeliver byte = 10
+	opView    byte = 11
+	opPrivate byte = 12
+	opDenied  byte = 13
+)
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error { return frame.Write(w, payload) }
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) { return frame.Read(r) }
+
+// frameLen returns the on-wire size of a frame with the given payload
+// length (used for bandwidth accounting).
+func frameLen(payloadLen int) uint64 { return frame.WireLen(payloadLen) }
+
+func encodeHello(name string) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(opHello)
+	e.WriteString(name)
+	return e.Bytes()
+}
+
+func encodeGroupOp(op byte, group string) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(op)
+	e.WriteString(group)
+	return e.Bytes()
+}
+
+func encodeMcast(group string, payload []byte) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(opMcast)
+	e.WriteString(group)
+	e.WriteOctets(payload)
+	return e.Bytes()
+}
+
+func encodeSend(target string, payload []byte) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(opSend)
+	e.WriteString(target)
+	e.WriteOctets(payload)
+	return e.Bytes()
+}
+
+func encodeDeliver(group string, seq uint64, sender string, payload []byte) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(opDeliver)
+	e.WriteString(group)
+	e.WriteULongLong(seq)
+	e.WriteString(sender)
+	e.WriteOctets(payload)
+	return e.Bytes()
+}
+
+func encodeView(group string, viewID, seq uint64, members []string) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(opView)
+	e.WriteString(group)
+	e.WriteULongLong(viewID)
+	e.WriteULongLong(seq)
+	e.WriteULong(uint32(len(members)))
+	for _, m := range members {
+		e.WriteString(m)
+	}
+	return e.Bytes()
+}
+
+func encodePrivate(sender string, payload []byte) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(opPrivate)
+	e.WriteString(sender)
+	e.WriteOctets(payload)
+	return e.Bytes()
+}
+
+func encodeDenied(reason string) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(opDenied)
+	e.WriteString(reason)
+	return e.Bytes()
+}

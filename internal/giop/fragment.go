@@ -1,0 +1,146 @@
+package giop
+
+import (
+	"fmt"
+	"io"
+)
+
+// GIOP 1.1 fragmentation: a message whose header carries the
+// more-fragments flag is continued by Fragment messages (type 7), the last
+// of which clears the flag. TAO fragments large requests/replies this way;
+// the mini-ORB supports it behind WithMaxBodyBytes options, and ReadMessage
+// and ReadFrame reassemble transparently.
+
+// MsgFragment is the GIOP 1.1 Fragment message type.
+const MsgFragment MsgType = 7
+
+// FlagMoreFragments is bit 1 of the header flags octet.
+const FlagMoreFragments = 0x02
+
+// FragmentMessage splits a complete GIOP message (header + body) into wire
+// messages whose bodies are at most maxBody bytes. A message that already
+// fits is returned unchanged as a single element.
+func FragmentMessage(raw []byte, maxBody int) ([][]byte, error) {
+	if maxBody <= 0 {
+		return nil, fmt.Errorf("giop: fragment size must be positive")
+	}
+	if len(raw) < HeaderLen {
+		return nil, fmt.Errorf("giop: message too short to fragment")
+	}
+	h, err := ParseHeader(raw[:HeaderLen])
+	if err != nil {
+		return nil, err
+	}
+	body := raw[HeaderLen:]
+	if len(body) != int(h.Size) {
+		return nil, fmt.Errorf("giop: message length mismatch: header %d, body %d", h.Size, len(body))
+	}
+	if len(body) <= maxBody {
+		return [][]byte{raw}, nil
+	}
+
+	var out [][]byte
+	first := true
+	for off := 0; off < len(body); off += maxBody {
+		end := off + maxBody
+		if end > len(body) {
+			end = len(body)
+		}
+		chunk := body[off:end]
+		hdr := Header{
+			Major:      h.Major,
+			Minor:      1, // fragments are a GIOP >=1.1 feature
+			Order:      h.Order,
+			Type:       h.Type,
+			Size:       uint32(len(chunk)),
+			Fragmented: end < len(body),
+		}
+		if !first {
+			hdr.Type = MsgFragment
+		}
+		frame := EncodeHeader(hdr)
+		out = append(out, append(frame, chunk...))
+		first = false
+	}
+	return out, nil
+}
+
+// readMessageRaw reads a single wire message without reassembly.
+func readMessageRaw(r io.Reader) (Header, []byte, error) {
+	var hb [HeaderLen]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil {
+		return Header{}, nil, err
+	}
+	h, err := ParseHeader(hb[:])
+	if err != nil {
+		return Header{}, nil, err
+	}
+	body := make([]byte, h.Size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Header{}, nil, fmt.Errorf("giop: short body for %v: %w", h.Type, err)
+	}
+	return h, body, nil
+}
+
+// rawFrame re-renders a wire frame from its parsed parts.
+func rawFrame(h Header, body []byte) []byte {
+	frame := make([]byte, 0, HeaderLen+len(body))
+	frame = append(frame, EncodeHeader(h)...)
+	frame = append(frame, body...)
+	return frame
+}
+
+// readAssembled reads one logical message, reassembling fragments. The
+// returned header has the fragment flag cleared and Size set to the total
+// body length; raws, if non-nil, collects every wire frame read.
+func readAssembled(r io.Reader, raws *[][]byte) (Header, []byte, error) {
+	h, body, err := readMessageRaw(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if raws != nil {
+		*raws = append(*raws, rawFrame(h, body))
+	}
+	fragmented := h.Fragmented
+	for fragmented {
+		fh, fbody, err := readMessageRaw(r)
+		if err != nil {
+			return Header{}, nil, fmt.Errorf("giop: reading continuation fragment: %w", err)
+		}
+		if fh.Type != MsgFragment {
+			return Header{}, nil, fmt.Errorf("giop: expected Fragment, got %v", fh.Type)
+		}
+		if len(body)+len(fbody) > MaxMessageSize {
+			return Header{}, nil, fmt.Errorf("%w: reassembled message", ErrTooLarge)
+		}
+		if raws != nil {
+			*raws = append(*raws, rawFrame(fh, fbody))
+		}
+		body = append(body, fbody...)
+		fragmented = fh.Fragmented
+	}
+	h.Fragmented = false
+	h.Size = uint32(len(body))
+	return h, body, nil
+}
+
+// WriteMessageFragmented writes a complete GIOP message, splitting it when
+// its body exceeds maxBody (maxBody <= 0 disables fragmentation).
+func WriteMessageFragmented(w io.Writer, raw []byte, maxBody int) error {
+	if maxBody <= 0 {
+		if _, err := w.Write(raw); err != nil {
+			return fmt.Errorf("giop: write message: %w", err)
+		}
+		return nil
+	}
+	frames, err := FragmentMessage(raw, maxBody)
+	if err != nil {
+		return err
+	}
+	for _, frame := range frames {
+		if _, err := w.Write(frame); err != nil {
+			return fmt.Errorf("giop: write fragment: %w", err)
+		}
+	}
+	return nil
+}

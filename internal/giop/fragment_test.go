@@ -1,0 +1,177 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mead/internal/cdr"
+)
+
+func bigRequest(payload int) []byte {
+	return EncodeRequest(cdr.BigEndian, RequestHeader{
+		RequestID:        9,
+		ResponseExpected: true,
+		ObjectKey:        MakeObjectKey("s", "o"),
+		Operation:        "bulk",
+	}, func(e *cdr.Encoder) {
+		e.WriteOctets(bytes.Repeat([]byte{0xAB}, payload))
+	})
+}
+
+func TestFragmentMessageSmallUnchanged(t *testing.T) {
+	msg := bigRequest(10)
+	frames, err := FragmentMessage(msg, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 || !bytes.Equal(frames[0], msg) {
+		t.Fatalf("small message was fragmented into %d frames", len(frames))
+	}
+}
+
+func TestFragmentAndReassembleRoundTrip(t *testing.T) {
+	msg := bigRequest(1000)
+	frames, err := FragmentMessage(msg, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 8 {
+		t.Fatalf("frames = %d, want many", len(frames))
+	}
+	// First frame is the original type with the more-flag; the rest are
+	// Fragment messages.
+	h0, err := ParseHeader(frames[0][:HeaderLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0.Type != MsgRequest || !h0.Fragmented {
+		t.Fatalf("first frame header = %+v", h0)
+	}
+	hn, err := ParseHeader(frames[len(frames)-1][:HeaderLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hn.Type != MsgFragment || hn.Fragmented {
+		t.Fatalf("last frame header = %+v", hn)
+	}
+
+	var wire bytes.Buffer
+	for _, f := range frames {
+		wire.Write(f)
+	}
+	h, body, err := ReadMessage(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != MsgRequest || h.Fragmented {
+		t.Fatalf("assembled header = %+v", h)
+	}
+	if !bytes.Equal(body, msg[HeaderLen:]) {
+		t.Fatal("assembled body differs from original")
+	}
+	hdr, args, err := DecodeRequest(h.Order, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Operation != "bulk" {
+		t.Fatalf("operation = %q", hdr.Operation)
+	}
+	data, err := args.ReadOctets()
+	if err != nil || len(data) != 1000 {
+		t.Fatalf("payload = %d bytes, %v", len(data), err)
+	}
+}
+
+func TestReadFrameReassemblesFragments(t *testing.T) {
+	msg := bigRequest(600)
+	frames, err := FragmentMessage(msg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	for _, f := range frames {
+		wire.Write(f)
+	}
+	wireLen := wire.Len()
+	f, err := ReadFrame(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameGIOP || f.Header.Type != MsgRequest || f.Header.Fragmented {
+		t.Fatalf("frame = %+v", f.Header)
+	}
+	// Raw preserves every wire byte (pass-through fidelity).
+	if len(f.Raw) != wireLen {
+		t.Fatalf("raw = %d bytes, wire = %d", len(f.Raw), wireLen)
+	}
+	// Body is the assembled logical body.
+	if !bytes.Equal(f.Body(), msg[HeaderLen:]) {
+		t.Fatal("assembled frame body differs")
+	}
+}
+
+func TestFragmentErrors(t *testing.T) {
+	msg := bigRequest(100)
+	if _, err := FragmentMessage(msg, 0); err == nil {
+		t.Fatal("zero fragment size accepted")
+	}
+	if _, err := FragmentMessage(msg[:8], 64); err == nil {
+		t.Fatal("short message accepted")
+	}
+	truncated := append([]byte(nil), msg...)
+	truncated = truncated[:len(truncated)-4]
+	if _, err := FragmentMessage(truncated, 64); err == nil {
+		t.Fatal("length-mismatched message accepted")
+	}
+}
+
+func TestReassemblyRejectsWrongContinuation(t *testing.T) {
+	msg := bigRequest(600)
+	frames, err := FragmentMessage(msg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	wire.Write(frames[0])
+	// Follow with a non-Fragment message instead of the continuation.
+	wire.Write(EncodeMessage(cdr.BigEndian, MsgReply, nil))
+	if _, _, err := ReadMessage(&wire); err == nil {
+		t.Fatal("wrong continuation accepted")
+	}
+}
+
+func TestWriteMessageFragmentedDisabled(t *testing.T) {
+	msg := bigRequest(300)
+	var out bytes.Buffer
+	if err := WriteMessageFragmented(&out, msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), msg) {
+		t.Fatal("disabled fragmentation altered the message")
+	}
+}
+
+func TestQuickFragmentRoundTrip(t *testing.T) {
+	f := func(payloadLen uint16, fragSize uint8) bool {
+		size := int(payloadLen%4000) + 1
+		frag := int(fragSize%200) + 16
+		msg := bigRequest(size)
+		frames, err := FragmentMessage(msg, frag)
+		if err != nil {
+			return false
+		}
+		var wire bytes.Buffer
+		for _, fr := range frames {
+			wire.Write(fr)
+		}
+		_, body, err := ReadMessage(&wire)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(body, msg[HeaderLen:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package giop
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"mead/internal/cdr"
+)
+
+// Profile tags.
+const (
+	// TagInternetIOP identifies an IIOP (TCP) profile.
+	TagInternetIOP uint32 = 0
+)
+
+// TaggedProfile is one profile of an IOR; Data is a CDR encapsulation whose
+// layout depends on Tag.
+type TaggedProfile struct {
+	Tag  uint32
+	Data []byte
+}
+
+// IOR is an Interoperable Object Reference: the typed, located name of a
+// CORBA object. The paper's LOCATION_FORWARD scheme ships IORs of the next
+// available replica in fabricated replies.
+type IOR struct {
+	TypeID   string
+	Profiles []TaggedProfile
+}
+
+// IIOPProfile is the decoded body of a TAG_INTERNET_IOP profile.
+type IIOPProfile struct {
+	Major     uint8
+	Minor     uint8
+	Host      string
+	Port      uint16
+	ObjectKey []byte
+}
+
+// IOR errors.
+var (
+	// ErrNoIIOPProfile reports an IOR without a usable IIOP profile.
+	ErrNoIIOPProfile = errors.New("giop: IOR has no IIOP profile")
+	// ErrBadIOR reports a malformed stringified IOR.
+	ErrBadIOR = errors.New("giop: malformed stringified IOR")
+)
+
+// NewIOR builds a single-profile IIOP IOR for an object at host:port with
+// the given persistent object key.
+func NewIOR(typeID, host string, port uint16, objectKey []byte) IOR {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(byte(cdr.BigEndian))
+	e.WriteOctet(VersionMajor)
+	e.WriteOctet(VersionMinor)
+	e.WriteString(host)
+	e.WriteUShort(port)
+	e.WriteOctets(objectKey)
+	return IOR{
+		TypeID:   typeID,
+		Profiles: []TaggedProfile{{Tag: TagInternetIOP, Data: e.Bytes()}},
+	}
+}
+
+// NewIORForAddr is NewIOR taking a combined "host:port" address.
+func NewIORForAddr(typeID, addr string, objectKey []byte) (IOR, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return IOR{}, fmt.Errorf("giop: bad address %q: %w", addr, err)
+	}
+	port, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return IOR{}, fmt.Errorf("giop: bad port in %q: %w", addr, err)
+	}
+	return NewIOR(typeID, host, uint16(port), objectKey), nil
+}
+
+// IIOP returns the first IIOP profile of the IOR.
+func (ior IOR) IIOP() (IIOPProfile, error) {
+	for _, p := range ior.Profiles {
+		if p.Tag != TagInternetIOP {
+			continue
+		}
+		if len(p.Data) < 3 {
+			return IIOPProfile{}, fmt.Errorf("giop: IIOP profile too short: %w", cdr.ErrTruncated)
+		}
+		d := cdr.NewDecoder(p.Data, cdr.ByteOrder(p.Data[0]&1))
+		if _, err := d.ReadOctet(); err != nil { // byte-order flag
+			return IIOPProfile{}, err
+		}
+		var prof IIOPProfile
+		var err error
+		if prof.Major, err = d.ReadOctet(); err != nil {
+			return IIOPProfile{}, fmt.Errorf("giop: IIOP major: %w", err)
+		}
+		if prof.Minor, err = d.ReadOctet(); err != nil {
+			return IIOPProfile{}, fmt.Errorf("giop: IIOP minor: %w", err)
+		}
+		if prof.Host, err = d.ReadString(); err != nil {
+			return IIOPProfile{}, fmt.Errorf("giop: IIOP host: %w", err)
+		}
+		if prof.Port, err = d.ReadUShort(); err != nil {
+			return IIOPProfile{}, fmt.Errorf("giop: IIOP port: %w", err)
+		}
+		if prof.ObjectKey, err = d.ReadOctets(); err != nil {
+			return IIOPProfile{}, fmt.Errorf("giop: IIOP object key: %w", err)
+		}
+		return prof, nil
+	}
+	return IIOPProfile{}, ErrNoIIOPProfile
+}
+
+// Addr returns the "host:port" endpoint of the IOR's IIOP profile.
+func (ior IOR) Addr() (string, error) {
+	prof, err := ior.IIOP()
+	if err != nil {
+		return "", err
+	}
+	return net.JoinHostPort(prof.Host, strconv.Itoa(int(prof.Port))), nil
+}
+
+// EncodeIOR appends the CDR form of ior to e.
+func EncodeIOR(e *cdr.Encoder, ior IOR) {
+	e.WriteString(ior.TypeID)
+	e.WriteULong(uint32(len(ior.Profiles)))
+	for _, p := range ior.Profiles {
+		e.WriteULong(p.Tag)
+		e.WriteOctets(p.Data)
+	}
+}
+
+// DecodeIOR reads the CDR form of an IOR from d.
+func DecodeIOR(d *cdr.Decoder) (IOR, error) {
+	var ior IOR
+	var err error
+	if ior.TypeID, err = d.ReadString(); err != nil {
+		return ior, fmt.Errorf("giop: IOR type id: %w", err)
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return ior, fmt.Errorf("giop: IOR profile count: %w", err)
+	}
+	if n > 64 {
+		return ior, fmt.Errorf("giop: implausible IOR profile count %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var p TaggedProfile
+		if p.Tag, err = d.ReadULong(); err != nil {
+			return ior, fmt.Errorf("giop: IOR profile tag: %w", err)
+		}
+		if p.Data, err = d.ReadOctets(); err != nil {
+			return ior, fmt.Errorf("giop: IOR profile data: %w", err)
+		}
+		ior.Profiles = append(ior.Profiles, p)
+	}
+	return ior, nil
+}
+
+// String renders the stringified "IOR:..." form: the hex dump of a CDR
+// encapsulation holding the IOR, as registered with a Naming Service.
+func (ior IOR) String() string {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(byte(cdr.BigEndian))
+	EncodeIOR(e, ior)
+	return "IOR:" + hex.EncodeToString(e.Bytes())
+}
+
+// ParseIOR parses the stringified "IOR:..." form.
+func ParseIOR(s string) (IOR, error) {
+	if !strings.HasPrefix(s, "IOR:") {
+		return IOR{}, fmt.Errorf("%w: missing IOR: prefix", ErrBadIOR)
+	}
+	raw, err := hex.DecodeString(s[4:])
+	if err != nil {
+		return IOR{}, fmt.Errorf("%w: %v", ErrBadIOR, err)
+	}
+	if len(raw) < 1 {
+		return IOR{}, fmt.Errorf("%w: empty body", ErrBadIOR)
+	}
+	d := cdr.NewDecoder(raw, cdr.ByteOrder(raw[0]&1))
+	if _, err := d.ReadOctet(); err != nil {
+		return IOR{}, err
+	}
+	ior, err := DecodeIOR(d)
+	if err != nil {
+		return IOR{}, fmt.Errorf("%w: %v", ErrBadIOR, err)
+	}
+	return ior, nil
+}

@@ -1,0 +1,142 @@
+package giop
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mead/internal/cdr"
+)
+
+func TestNewIORAndIIOP(t *testing.T) {
+	key := MakeObjectKey("timeofday", "clock")
+	ior := NewIOR("IDL:mead/TimeOfDay:1.0", "127.0.0.1", 9999, key)
+	prof, err := ior.IIOP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Host != "127.0.0.1" || prof.Port != 9999 {
+		t.Fatalf("profile = %+v", prof)
+	}
+	if !bytes.Equal(prof.ObjectKey, key) {
+		t.Fatalf("object key = %q", prof.ObjectKey)
+	}
+	addr, err := ior.Addr()
+	if err != nil || addr != "127.0.0.1:9999" {
+		t.Fatalf("addr = %q, %v", addr, err)
+	}
+}
+
+func TestNewIORForAddr(t *testing.T) {
+	ior, err := NewIORForAddr("IDL:x:1.0", "10.0.0.5:1234", []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := ior.Addr()
+	if err != nil || addr != "10.0.0.5:1234" {
+		t.Fatalf("addr = %q, %v", addr, err)
+	}
+	if _, err := NewIORForAddr("IDL:x:1.0", "no-port-here", nil); err == nil {
+		t.Fatal("bad addr accepted")
+	}
+	if _, err := NewIORForAddr("IDL:x:1.0", "host:notaport", nil); err == nil {
+		t.Fatal("bad port accepted")
+	}
+}
+
+func TestIORCDRRoundTrip(t *testing.T) {
+	ior := NewIOR("IDL:mead/TimeOfDay:1.0", "node-3.emulab.example", 2809, MakeObjectKey("svc", "obj"))
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		e := cdr.NewEncoder(order)
+		EncodeIOR(e, ior)
+		got, err := DecodeIOR(cdr.NewDecoder(e.Bytes(), order))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TypeID != ior.TypeID || len(got.Profiles) != 1 {
+			t.Fatalf("decoded IOR = %+v", got)
+		}
+		if !bytes.Equal(got.Profiles[0].Data, ior.Profiles[0].Data) {
+			t.Fatal("profile data mismatch")
+		}
+	}
+}
+
+func TestIORStringifiedRoundTrip(t *testing.T) {
+	ior := NewIOR("IDL:mead/TimeOfDay:1.0", "localhost", 40001, MakeObjectKey("timeofday", "clock"))
+	s := ior.String()
+	if !strings.HasPrefix(s, "IOR:") {
+		t.Fatalf("stringified form = %q", s)
+	}
+	got, err := ParseIOR(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TypeID != ior.TypeID {
+		t.Fatalf("type id = %q", got.TypeID)
+	}
+	gp, err := got.IIOP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Host != "localhost" || gp.Port != 40001 {
+		t.Fatalf("profile = %+v", gp)
+	}
+}
+
+func TestParseIORErrors(t *testing.T) {
+	cases := []string{"", "ior:abcd", "IOR:zz", "IOR:"}
+	for _, s := range cases {
+		if _, err := ParseIOR(s); !errors.Is(err, ErrBadIOR) {
+			t.Errorf("ParseIOR(%q) err = %v, want ErrBadIOR", s, err)
+		}
+	}
+}
+
+func TestIIOPMissingProfile(t *testing.T) {
+	ior := IOR{TypeID: "IDL:x:1.0", Profiles: []TaggedProfile{{Tag: 99, Data: []byte{0}}}}
+	if _, err := ior.IIOP(); !errors.Is(err, ErrNoIIOPProfile) {
+		t.Fatalf("err = %v, want ErrNoIIOPProfile", err)
+	}
+	if _, err := (IOR{}).Addr(); err == nil {
+		t.Fatal("empty IOR Addr() succeeded")
+	}
+}
+
+func TestIIOPCorruptProfile(t *testing.T) {
+	ior := IOR{Profiles: []TaggedProfile{{Tag: TagInternetIOP, Data: []byte{0, 1}}}}
+	if _, err := ior.IIOP(); err == nil {
+		t.Fatal("corrupt IIOP profile accepted")
+	}
+}
+
+func TestDecodeIORProfileGuard(t *testing.T) {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteString("IDL:x:1.0")
+	e.WriteULong(1 << 20)
+	if _, err := DecodeIOR(cdr.NewDecoder(e.Bytes(), cdr.BigEndian)); err == nil {
+		t.Fatal("implausible profile count accepted")
+	}
+}
+
+func TestQuickIORStringRoundTrip(t *testing.T) {
+	f := func(hostRaw uint16, port uint16, obj string) bool {
+		host := "h" + strings.Repeat("x", int(hostRaw%20))
+		ior := NewIOR("IDL:mead/T:1.0", host, port, MakeObjectKey("s", obj))
+		got, err := ParseIOR(ior.String())
+		if err != nil {
+			return false
+		}
+		p1, err1 := ior.IIOP()
+		p2, err2 := got.IIOP()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p1.Host == p2.Host && p1.Port == p2.Port && bytes.Equal(p1.ObjectKey, p2.ObjectKey)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package giop
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeObjectKeyLength(t *testing.T) {
+	key := MakeObjectKey("timeofday", "clock")
+	if len(key) < ObjectKeyLen {
+		t.Fatalf("key length %d < %d", len(key), ObjectKeyLen)
+	}
+}
+
+func TestMakeObjectKeyDeterministic(t *testing.T) {
+	a := MakeObjectKey("svc", "obj")
+	b := MakeObjectKey("svc", "obj")
+	if string(a) != string(b) {
+		t.Fatal("persistent keys differ across derivations")
+	}
+}
+
+func TestMakeObjectKeyDistinct(t *testing.T) {
+	if string(MakeObjectKey("a", "b")) == string(MakeObjectKey("a", "c")) {
+		t.Fatal("distinct objects share a key")
+	}
+	if string(MakeObjectKey("a", "b")) == string(MakeObjectKey("c", "b")) {
+		t.Fatal("distinct services share a key")
+	}
+}
+
+func TestParseObjectKey(t *testing.T) {
+	svc, obj, err := ParseObjectKey(MakeObjectKey("timeofday", "clock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc != "timeofday" || obj != "clock" {
+		t.Fatalf("parsed = %q/%q", svc, obj)
+	}
+}
+
+func TestParseObjectKeyErrors(t *testing.T) {
+	if _, _, err := ParseObjectKey([]byte("garbage")); err == nil {
+		t.Fatal("garbage key accepted")
+	}
+	if _, _, err := ParseObjectKey([]byte("MEAD:PKEY:no-slash####")); err == nil {
+		t.Fatal("key without object id accepted")
+	}
+}
+
+func TestHash16Stable(t *testing.T) {
+	key := MakeObjectKey("timeofday", "clock")
+	if Hash16(key) != Hash16(key) {
+		t.Fatal("hash not stable")
+	}
+}
+
+func TestHash16SpreadsKeys(t *testing.T) {
+	// Not a cryptographic requirement; just confirm distinct replicas'
+	// object keys rarely collide at 16 bits for a realistic population.
+	seen := make(map[uint16]int)
+	collisions := 0
+	for i := 0; i < 500; i++ {
+		h := Hash16(MakeObjectKey("svc", string(rune('a'+i%26))+string(rune('0'+i/26))))
+		if seen[h] > 0 {
+			collisions++
+		}
+		seen[h]++
+	}
+	if collisions > 5 {
+		t.Fatalf("too many 16-bit collisions: %d/500", collisions)
+	}
+}
+
+func TestQuickKeyRoundTrip(t *testing.T) {
+	f := func(svcRaw, objRaw uint16) bool {
+		svc := "svc" + string(rune('a'+svcRaw%26))
+		obj := "obj" + string(rune('a'+objRaw%26))
+		gotSvc, gotObj, err := ParseObjectKey(MakeObjectKey(svc, obj))
+		return err == nil && gotSvc == svc && gotObj == obj
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+package giop
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mead/internal/cdr"
+)
+
+func testRequestHeader() RequestHeader {
+	return RequestHeader{
+		ServiceContexts:  []ServiceContext{{ID: ServiceContextMead, Data: []byte{1, 2}}},
+		RequestID:        42,
+		ResponseExpected: true,
+		ObjectKey:        MakeObjectKey("timeofday", "clock"),
+		Operation:        "time_of_day",
+		Principal:        []byte("anon"),
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		hdr := testRequestHeader()
+		msg := EncodeRequest(order, hdr, func(e *cdr.Encoder) {
+			e.WriteULong(7)
+			e.WriteString("arg")
+		})
+		h, body, err := ReadMessage(bytes.NewReader(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Type != MsgRequest {
+			t.Fatalf("type = %v", h.Type)
+		}
+		got, args, err := DecodeRequest(h.Order, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RequestID != 42 || !got.ResponseExpected || got.Operation != "time_of_day" {
+			t.Fatalf("header = %+v", got)
+		}
+		if !bytes.Equal(got.ObjectKey, hdr.ObjectKey) {
+			t.Fatalf("object key = %q", got.ObjectKey)
+		}
+		if len(got.ServiceContexts) != 1 || got.ServiceContexts[0].ID != ServiceContextMead {
+			t.Fatalf("service contexts = %+v", got.ServiceContexts)
+		}
+		if v, _ := args.ReadULong(); v != 7 {
+			t.Fatalf("arg ulong = %d", v)
+		}
+		if s, _ := args.ReadString(); s != "arg" {
+			t.Fatalf("arg string = %q", s)
+		}
+	}
+}
+
+func TestRequestNoArgs(t *testing.T) {
+	msg := EncodeRequest(cdr.BigEndian, RequestHeader{RequestID: 1, Operation: "ping"}, nil)
+	h, body, err := ReadMessage(bytes.NewReader(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, args, err := DecodeRequest(h.Order, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Operation != "ping" || args.Remaining() != 0 {
+		t.Fatalf("header = %+v remaining = %d", got, args.Remaining())
+	}
+}
+
+func TestDecodeRequestTruncated(t *testing.T) {
+	msg := EncodeRequest(cdr.BigEndian, testRequestHeader(), nil)
+	_, body, err := ReadMessage(bytes.NewReader(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(body); cut += 5 {
+		if _, _, err := DecodeRequest(cdr.BigEndian, body[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReplyRoundTripAllStatuses(t *testing.T) {
+	statuses := []ReplyStatus{
+		ReplyNoException, ReplyUserException, ReplySystemException,
+		ReplyLocationForward, ReplyLocationForwardPerm, ReplyNeedsAddressingMode,
+	}
+	for _, st := range statuses {
+		msg := EncodeReply(cdr.LittleEndian, ReplyHeader{RequestID: 9, Status: st}, nil)
+		h, body, err := ReadMessage(bytes.NewReader(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := DecodeReply(h.Order, body)
+		if err != nil {
+			t.Fatalf("status %v: %v", st, err)
+		}
+		if got.RequestID != 9 || got.Status != st {
+			t.Fatalf("reply header = %+v, want status %v", got, st)
+		}
+	}
+}
+
+func TestDecodeReplyUnknownStatus(t *testing.T) {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULong(0) // no service contexts
+	e.WriteULong(1) // request id
+	e.WriteULong(77)
+	if _, _, err := DecodeReply(cdr.BigEndian, e.Bytes()); err == nil {
+		t.Fatal("unknown reply status accepted")
+	}
+}
+
+func TestSystemExceptionRoundTrip(t *testing.T) {
+	msg := EncodeReply(cdr.BigEndian, ReplyHeader{RequestID: 5, Status: ReplySystemException}, func(e *cdr.Encoder) {
+		EncodeSystemException(e, CommFailure(2, CompletedMaybe))
+	})
+	h, body, err := ReadMessage(bytes.NewReader(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, d, err := DecodeReply(h.Order, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Status != ReplySystemException {
+		t.Fatalf("status = %v", hdr.Status)
+	}
+	se, err := DecodeSystemException(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.RepoID != RepoCommFailure || se.Minor != 2 || se.Completed != CompletedMaybe {
+		t.Fatalf("exception = %+v", se)
+	}
+}
+
+func TestSystemExceptionErrorsIs(t *testing.T) {
+	err := error(CommFailure(1, CompletedNo))
+	if !errors.Is(err, &SystemException{RepoID: RepoCommFailure}) {
+		t.Fatal("COMM_FAILURE does not match sentinel")
+	}
+	if errors.Is(err, &SystemException{RepoID: RepoTransient}) {
+		t.Fatal("COMM_FAILURE matched TRANSIENT sentinel")
+	}
+	var se *SystemException
+	if !errors.As(err, &se) || se.Minor != 1 {
+		t.Fatal("errors.As failed")
+	}
+}
+
+func TestExceptionErrorString(t *testing.T) {
+	got := Transient(3, CompletedNo).Error()
+	want := "CORBA system exception IDL:omg.org/CORBA/TRANSIENT:1.0 (minor 3, COMPLETED_NO)"
+	if got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestCompletionStatusString(t *testing.T) {
+	if CompletedYes.String() != "COMPLETED_YES" || CompletionStatus(9).String() != "CompletionStatus(9)" {
+		t.Fatal("unexpected CompletionStatus strings")
+	}
+}
+
+func TestReplyStatusString(t *testing.T) {
+	if ReplyLocationForward.String() != "LOCATION_FORWARD" ||
+		ReplyNeedsAddressingMode.String() != "NEEDS_ADDRESSING_MODE" ||
+		ReplyStatus(42).String() != "ReplyStatus(42)" {
+		t.Fatal("unexpected ReplyStatus strings")
+	}
+}
+
+func TestServiceContextCountGuard(t *testing.T) {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULong(1 << 30)
+	if _, _, err := DecodeRequest(cdr.BigEndian, e.Bytes()); err == nil {
+		t.Fatal("implausible service-context count accepted")
+	}
+}
+
+func TestQuickRequestRoundTrip(t *testing.T) {
+	f := func(id uint32, respond bool, op string, key, principal []byte, little bool) bool {
+		order := cdr.BigEndian
+		if little {
+			order = cdr.LittleEndian
+		}
+		hdr := RequestHeader{
+			RequestID:        id,
+			ResponseExpected: respond,
+			ObjectKey:        key,
+			Operation:        op,
+			Principal:        principal,
+		}
+		msg := EncodeRequest(order, hdr, nil)
+		h, body, err := ReadMessage(bytes.NewReader(msg))
+		if err != nil {
+			return false
+		}
+		got, _, err := DecodeRequest(h.Order, body)
+		if err != nil {
+			return false
+		}
+		return got.RequestID == id && got.ResponseExpected == respond &&
+			got.Operation == op && bytes.Equal(got.ObjectKey, key) &&
+			bytes.Equal(got.Principal, principal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package idl implements the OMG IDL front-end every CORBA deployment
+// builds on: a lexer and parser for the IDL subset the MEAD test
+// applications need (modules, interfaces with [oneway] operations and
+// in/out/inout parameters, structs, enums, sequences, and the basic types),
+// plus a Go code generator emitting typed client stubs and server skeletons
+// over the mini-ORB in internal/orb. The cmd/mead-idl binary wraps it as
+// the command-line IDL compiler.
+package idl
+
+import "fmt"
+
+// Kind enumerates IDL type constructors.
+type Kind int
+
+// Type kinds.
+const (
+	KindVoid Kind = iota + 1
+	KindBoolean
+	KindOctet
+	KindShort
+	KindUShort
+	KindLong
+	KindULong
+	KindLongLong
+	KindULongLong
+	KindDouble
+	KindString
+	KindSequence
+	KindNamed // struct or enum reference
+)
+
+// Type is an IDL type expression.
+type Type struct {
+	Kind Kind
+	// Elem is the element type for sequences.
+	Elem *Type
+	// Name is the referenced declaration for KindNamed.
+	Name string
+}
+
+func (t Type) String() string {
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindBoolean:
+		return "boolean"
+	case KindOctet:
+		return "octet"
+	case KindShort:
+		return "short"
+	case KindUShort:
+		return "unsigned short"
+	case KindLong:
+		return "long"
+	case KindULong:
+		return "unsigned long"
+	case KindLongLong:
+		return "long long"
+	case KindULongLong:
+		return "unsigned long long"
+	case KindDouble:
+		return "double"
+	case KindString:
+		return "string"
+	case KindSequence:
+		return fmt.Sprintf("sequence<%s>", t.Elem)
+	case KindNamed:
+		return t.Name
+	default:
+		return fmt.Sprintf("Kind(%d)", int(t.Kind))
+	}
+}
+
+// Direction is a parameter passing mode.
+type Direction int
+
+// Parameter directions.
+const (
+	DirIn Direction = iota + 1
+	DirOut
+	DirInOut
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	case DirInOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Param is one operation parameter.
+type Param struct {
+	Dir  Direction
+	Type Type
+	Name string
+}
+
+// Operation is one interface operation.
+type Operation struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Oneway bool
+	Raises []string
+}
+
+// Interface is an IDL interface declaration.
+type Interface struct {
+	Name string
+	Ops  []Operation
+}
+
+// Field is one struct member.
+type Field struct {
+	Type Type
+	Name string
+}
+
+// Struct is an IDL struct declaration.
+type Struct struct {
+	Name   string
+	Fields []Field
+}
+
+// Enum is an IDL enum declaration.
+type Enum struct {
+	Name    string
+	Members []string
+}
+
+// Module is an IDL module with its declarations.
+type Module struct {
+	Name       string
+	Interfaces []Interface
+	Structs    []Struct
+	Enums      []Enum
+}
+
+// File is a parsed IDL compilation unit.
+type File struct {
+	Modules []Module
+}
+
+// RepoID derives the CORBA repository id of a declaration.
+func RepoID(module, name string) string {
+	if module == "" {
+		return "IDL:" + name + ":1.0"
+	}
+	return "IDL:" + module + "/" + name + ":1.0"
+}

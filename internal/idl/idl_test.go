@@ -1,0 +1,234 @@
+package idl
+
+import (
+	goparser "go/parser"
+	gotoken "go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleIDL = `
+// line comment
+/* block
+   comment */
+module mead {
+  enum Health { HEALTHY, DEGRADED, FAILING };
+
+  struct Status {
+    string replica;
+    Health health;
+    unsigned long long counter;
+    sequence<octet> payload;
+    sequence<string> tags;
+  };
+
+  interface TimeOfDay {
+    long long time_of_day(out unsigned long long counter, out string replica);
+    unsigned long long counter();
+    Status status(in string requester);
+    double scale(in double factor, inout double value);
+    oneway void note(in string message);
+  };
+};
+`
+
+func parseSample(t *testing.T) *File {
+	t.Helper()
+	f, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseSampleShape(t *testing.T) {
+	f := parseSample(t)
+	if len(f.Modules) != 1 {
+		t.Fatalf("modules = %d", len(f.Modules))
+	}
+	m := f.Modules[0]
+	if m.Name != "mead" || len(m.Enums) != 1 || len(m.Structs) != 1 || len(m.Interfaces) != 1 {
+		t.Fatalf("module = %+v", m)
+	}
+	if got := m.Enums[0].Members; len(got) != 3 || got[0] != "HEALTHY" {
+		t.Fatalf("enum members = %v", got)
+	}
+	st := m.Structs[0]
+	if st.Fields[2].Type.Kind != KindULongLong {
+		t.Fatalf("counter field type = %v", st.Fields[2].Type)
+	}
+	if st.Fields[3].Type.Kind != KindSequence || st.Fields[3].Type.Elem.Kind != KindOctet {
+		t.Fatalf("payload field type = %v", st.Fields[3].Type)
+	}
+	iface := m.Interfaces[0]
+	if len(iface.Ops) != 5 {
+		t.Fatalf("ops = %d", len(iface.Ops))
+	}
+	tod := iface.Ops[0]
+	if tod.Name != "time_of_day" || tod.Ret.Kind != KindLongLong || len(tod.Params) != 2 {
+		t.Fatalf("time_of_day = %+v", tod)
+	}
+	if tod.Params[0].Dir != DirOut || tod.Params[0].Type.Kind != KindULongLong {
+		t.Fatalf("param 0 = %+v", tod.Params[0])
+	}
+	scale := iface.Ops[3]
+	if scale.Params[1].Dir != DirInOut {
+		t.Fatalf("scale param = %+v", scale.Params[1])
+	}
+	note := iface.Ops[4]
+	if !note.Oneway || note.Ret.Kind != KindVoid {
+		t.Fatalf("note = %+v", note)
+	}
+}
+
+func TestParseTopLevelDecls(t *testing.T) {
+	f, err := Parse(`interface Ping { void ping(); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Modules) != 1 || f.Modules[0].Name != "" {
+		t.Fatalf("modules = %+v", f.Modules)
+	}
+	if RepoID("", "Ping") != "IDL:Ping:1.0" {
+		t.Fatal("top-level repo id wrong")
+	}
+}
+
+func TestParseRaises(t *testing.T) {
+	f, err := Parse(`interface I { void op() raises (NotFound, Busy); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := f.Modules[0].Interfaces[0].Ops[0]
+	if len(op.Raises) != 2 || op.Raises[0] != "NotFound" || op.Raises[1] != "Busy" {
+		t.Fatalf("raises = %v", op.Raises)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unterminated comment": "/* nope",
+		"bad char":             "interface I @ {};",
+		"missing brace":        "module m  interface I {}; };",
+		"missing semicolon":    "interface I { void op() };",
+		"oneway with result":   "interface I { oneway long op(); };",
+		"oneway with out":      "interface I { oneway void op(out long x); };",
+		"void param":           "interface I { void op(in void x); };",
+		"unknown named type":   "interface I { Mystery op(); };",
+		"dup op":               "interface I { void a(); void a(); };",
+		"dup decl":             "module m { struct S { long x; }; enum S { A }; };",
+		"void struct field":    "struct S { void x; };",
+		"sequence of void":     "struct S { sequence<void> x; };",
+		"unsigned garbage":     "struct S { unsigned string x; };",
+		"bad direction":        "interface I { void op(sideways long x); };",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse(src); err == nil {
+				t.Fatalf("accepted %q", src)
+			}
+		})
+	}
+}
+
+func TestParseErrorsMentionLine(t *testing.T) {
+	_, err := Parse("interface I {\n  void op(\n}")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line 3", err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	seq := Type{Kind: KindSequence, Elem: &Type{Kind: KindULong}}
+	if seq.String() != "sequence<unsigned long>" {
+		t.Fatalf("seq = %q", seq)
+	}
+	if (Type{Kind: KindNamed, Name: "Foo"}).String() != "Foo" {
+		t.Fatal("named type string wrong")
+	}
+	if DirInOut.String() != "inout" || DirIn.String() != "in" || DirOut.String() != "out" {
+		t.Fatal("direction strings wrong")
+	}
+}
+
+func TestGoName(t *testing.T) {
+	cases := map[string]string{
+		"time_of_day": "TimeOfDay",
+		"counter":     "Counter",
+		"HEALTHY":     "HEALTHY",
+		"a_b_c":       "ABC",
+		"_x":          "X",
+		"":            "X",
+	}
+	for in, want := range cases {
+		if got := GoName(in); got != want {
+			t.Errorf("GoName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGeneratedCodeParses(t *testing.T) {
+	f := parseSample(t)
+	code, err := Generate(f, "gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := gotoken.NewFileSet()
+	if _, err := goparser.ParseFile(fset, "gen.go", code, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v", err)
+	}
+	for _, want := range []string{
+		"const TimeOfDayTypeID = \"IDL:mead/TimeOfDay:1.0\"",
+		"type TimeOfDay interface",
+		"func NewTimeOfDayServant(impl TimeOfDay) orb.Servant",
+		"type TimeOfDayStub struct",
+		"type Status struct",
+		"type Health int32",
+		"HealthHEALTHY",
+		"InvokeOneWay(\"note\"",
+	} {
+		if !strings.Contains(string(code), want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestCheckedInStubMatchesGenerator(t *testing.T) {
+	// The example's generated package must stay in sync with the
+	// generator (the moral equivalent of a go:generate diff check).
+	src, err := os.ReadFile("../../examples/idlstub/timeofday.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Generate(f, "gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("../../examples/idlstub/gen/gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("examples/idlstub/gen/gen.go is stale; regenerate with cmd/mead-idl")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	f := parseSample(t)
+	a, err := Generate(f, "gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(f, "gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("generator output is nondeterministic")
+	}
+}

@@ -1,0 +1,97 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokPunct // one of { } ( ) ; , < >
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer tokenizes IDL source. Keywords are ordinary identifiers; the parser
+// distinguishes them.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+// errorf builds a positioned lexical/syntax error.
+func (lx *lexer) errorf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("idl: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.peekAt(1) == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.peekAt(1) == '*':
+			end := strings.Index(lx.src[lx.pos+2:], "*/")
+			if end < 0 {
+				return token{}, lx.errorf(lx.line, "unterminated block comment")
+			}
+			lx.line += strings.Count(lx.src[lx.pos:lx.pos+2+end+2], "\n")
+			lx.pos += 2 + end + 2
+		default:
+			return lx.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+}
+
+func (lx *lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) lexToken() (token, error) {
+	c := lx.src[lx.pos]
+	if strings.ContainsRune("{}();,<>", rune(c)) {
+		lx.pos++
+		return token{kind: tokPunct, text: string(c), line: lx.line}, nil
+	}
+	if isIdentStart(rune(c)) {
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(rune(lx.src[lx.pos])) {
+			lx.pos++
+		}
+		return token{kind: tokIdent, text: lx.src[start:lx.pos], line: lx.line}, nil
+	}
+	return token{}, lx.errorf(lx.line, "unexpected character %q", c)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,508 @@
+package idl
+
+import (
+	"fmt"
+)
+
+// Parse parses an IDL compilation unit.
+func Parse(src string) (*File, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	f := &File{}
+	topLevel := Module{Name: ""}
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.isKeyword("module"):
+			m, err := p.parseModule()
+			if err != nil {
+				return nil, err
+			}
+			f.Modules = append(f.Modules, m)
+		case p.isKeyword("interface"), p.isKeyword("struct"), p.isKeyword("enum"):
+			if err := p.parseDeclInto(&topLevel); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("expected module, interface, struct or enum, found %q", p.tok.text)
+		}
+	}
+	if len(topLevel.Interfaces)+len(topLevel.Structs)+len(topLevel.Enums) > 0 {
+		f.Modules = append(f.Modules, topLevel)
+	}
+	if err := check(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("idl: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == kw
+}
+
+// expectIdent consumes and returns a (non-keyword) identifier.
+func (p *parser) expectIdent(what string) (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errorf("expected %s, found %q", what, p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// expectPunct consumes the given punctuation.
+func (p *parser) expectPunct(text string) error {
+	if p.tok.kind != tokPunct || p.tok.text != text {
+		return p.errorf("expected %q, found %q", text, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) acceptPunct(text string) (bool, error) {
+	if p.tok.kind == tokPunct && p.tok.text == text {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *parser) acceptKeyword(kw string) (bool, error) {
+	if p.isKeyword(kw) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *parser) parseModule() (Module, error) {
+	if err := p.advance(); err != nil { // consume "module"
+		return Module{}, err
+	}
+	name, err := p.expectIdent("module name")
+	if err != nil {
+		return Module{}, err
+	}
+	m := Module{Name: name}
+	if err := p.expectPunct("{"); err != nil {
+		return Module{}, err
+	}
+	for {
+		if done, err := p.acceptPunct("}"); err != nil {
+			return Module{}, err
+		} else if done {
+			break
+		}
+		if err := p.parseDeclInto(&m); err != nil {
+			return Module{}, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return Module{}, err
+	}
+	return m, nil
+}
+
+func (p *parser) parseDeclInto(m *Module) error {
+	switch {
+	case p.isKeyword("interface"):
+		iface, err := p.parseInterface()
+		if err != nil {
+			return err
+		}
+		m.Interfaces = append(m.Interfaces, iface)
+	case p.isKeyword("struct"):
+		st, err := p.parseStruct()
+		if err != nil {
+			return err
+		}
+		m.Structs = append(m.Structs, st)
+	case p.isKeyword("enum"):
+		en, err := p.parseEnum()
+		if err != nil {
+			return err
+		}
+		m.Enums = append(m.Enums, en)
+	default:
+		return p.errorf("expected interface, struct or enum, found %q", p.tok.text)
+	}
+	return nil
+}
+
+func (p *parser) parseInterface() (Interface, error) {
+	if err := p.advance(); err != nil { // consume "interface"
+		return Interface{}, err
+	}
+	name, err := p.expectIdent("interface name")
+	if err != nil {
+		return Interface{}, err
+	}
+	iface := Interface{Name: name}
+	if err := p.expectPunct("{"); err != nil {
+		return Interface{}, err
+	}
+	for {
+		if done, err := p.acceptPunct("}"); err != nil {
+			return Interface{}, err
+		} else if done {
+			break
+		}
+		op, err := p.parseOperation()
+		if err != nil {
+			return Interface{}, err
+		}
+		iface.Ops = append(iface.Ops, op)
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return Interface{}, err
+	}
+	return iface, nil
+}
+
+func (p *parser) parseOperation() (Operation, error) {
+	var op Operation
+	oneway, err := p.acceptKeyword("oneway")
+	if err != nil {
+		return op, err
+	}
+	op.Oneway = oneway
+	ret, err := p.parseType()
+	if err != nil {
+		return op, err
+	}
+	op.Ret = ret
+	if op.Name, err = p.expectIdent("operation name"); err != nil {
+		return op, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return op, err
+	}
+	for {
+		if done, err := p.acceptPunct(")"); err != nil {
+			return op, err
+		} else if done {
+			break
+		}
+		if len(op.Params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return op, err
+			}
+		}
+		param, err := p.parseParam()
+		if err != nil {
+			return op, err
+		}
+		op.Params = append(op.Params, param)
+	}
+	if got, err := p.acceptKeyword("raises"); err != nil {
+		return op, err
+	} else if got {
+		if err := p.expectPunct("("); err != nil {
+			return op, err
+		}
+		for {
+			exc, err := p.expectIdent("exception name")
+			if err != nil {
+				return op, err
+			}
+			op.Raises = append(op.Raises, exc)
+			if more, err := p.acceptPunct(","); err != nil {
+				return op, err
+			} else if !more {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return op, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return op, err
+	}
+	if op.Oneway && (op.Ret.Kind != KindVoid || len(op.Params) > 0 && hasOutParams(op.Params)) {
+		return op, p.errorf("oneway operation %s must return void and have no out parameters", op.Name)
+	}
+	return op, nil
+}
+
+func hasOutParams(params []Param) bool {
+	for _, pa := range params {
+		if pa.Dir != DirIn {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseParam() (Param, error) {
+	var pa Param
+	switch {
+	case p.isKeyword("in"):
+		pa.Dir = DirIn
+	case p.isKeyword("out"):
+		pa.Dir = DirOut
+	case p.isKeyword("inout"):
+		pa.Dir = DirInOut
+	default:
+		return pa, p.errorf("expected parameter direction, found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return pa, err
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return pa, err
+	}
+	pa.Type = t
+	if pa.Name, err = p.expectIdent("parameter name"); err != nil {
+		return pa, err
+	}
+	return pa, nil
+}
+
+func (p *parser) parseStruct() (Struct, error) {
+	if err := p.advance(); err != nil { // consume "struct"
+		return Struct{}, err
+	}
+	name, err := p.expectIdent("struct name")
+	if err != nil {
+		return Struct{}, err
+	}
+	st := Struct{Name: name}
+	if err := p.expectPunct("{"); err != nil {
+		return Struct{}, err
+	}
+	for {
+		if done, err := p.acceptPunct("}"); err != nil {
+			return Struct{}, err
+		} else if done {
+			break
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return Struct{}, err
+		}
+		fieldName, err := p.expectIdent("field name")
+		if err != nil {
+			return Struct{}, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return Struct{}, err
+		}
+		st.Fields = append(st.Fields, Field{Type: t, Name: fieldName})
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return Struct{}, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseEnum() (Enum, error) {
+	if err := p.advance(); err != nil { // consume "enum"
+		return Enum{}, err
+	}
+	name, err := p.expectIdent("enum name")
+	if err != nil {
+		return Enum{}, err
+	}
+	en := Enum{Name: name}
+	if err := p.expectPunct("{"); err != nil {
+		return Enum{}, err
+	}
+	for {
+		member, err := p.expectIdent("enum member")
+		if err != nil {
+			return Enum{}, err
+		}
+		en.Members = append(en.Members, member)
+		if more, err := p.acceptPunct(","); err != nil {
+			return Enum{}, err
+		} else if !more {
+			break
+		}
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return Enum{}, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return Enum{}, err
+	}
+	return en, nil
+}
+
+// parseType parses a type expression.
+func (p *parser) parseType() (Type, error) {
+	if p.tok.kind != tokIdent {
+		return Type{}, p.errorf("expected type, found %q", p.tok.text)
+	}
+	switch p.tok.text {
+	case "void":
+		return p.simple(KindVoid)
+	case "boolean":
+		return p.simple(KindBoolean)
+	case "octet":
+		return p.simple(KindOctet)
+	case "short":
+		return p.simple(KindShort)
+	case "double":
+		return p.simple(KindDouble)
+	case "string":
+		return p.simple(KindString)
+	case "long":
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		if p.isKeyword("long") {
+			if err := p.advance(); err != nil {
+				return Type{}, err
+			}
+			return Type{Kind: KindLongLong}, nil
+		}
+		return Type{Kind: KindLong}, nil
+	case "unsigned":
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		switch {
+		case p.isKeyword("short"):
+			if err := p.advance(); err != nil {
+				return Type{}, err
+			}
+			return Type{Kind: KindUShort}, nil
+		case p.isKeyword("long"):
+			if err := p.advance(); err != nil {
+				return Type{}, err
+			}
+			if p.isKeyword("long") {
+				if err := p.advance(); err != nil {
+					return Type{}, err
+				}
+				return Type{Kind: KindULongLong}, nil
+			}
+			return Type{Kind: KindULong}, nil
+		default:
+			return Type{}, p.errorf("expected short or long after unsigned, found %q", p.tok.text)
+		}
+	case "sequence":
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		if err := p.expectPunct("<"); err != nil {
+			return Type{}, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return Type{}, err
+		}
+		if elem.Kind == KindVoid || elem.Kind == KindSequence {
+			return Type{}, p.errorf("unsupported sequence element type %s", elem)
+		}
+		if err := p.expectPunct(">"); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: KindSequence, Elem: &elem}, nil
+	default:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: KindNamed, Name: name}, nil
+	}
+}
+
+func (p *parser) simple(k Kind) (Type, error) {
+	if err := p.advance(); err != nil {
+		return Type{}, err
+	}
+	return Type{Kind: k}, nil
+}
+
+// check validates cross-references and name uniqueness.
+func check(f *File) error {
+	for _, m := range f.Modules {
+		names := make(map[string]string)
+		declare := func(kind, name string) error {
+			if prev, dup := names[name]; dup {
+				return fmt.Errorf("idl: module %q: %s %q redeclares %s", m.Name, kind, name, prev)
+			}
+			names[name] = kind
+			return nil
+		}
+		for _, st := range m.Structs {
+			if err := declare("struct", st.Name); err != nil {
+				return err
+			}
+		}
+		for _, en := range m.Enums {
+			if err := declare("enum", en.Name); err != nil {
+				return err
+			}
+		}
+		for _, iface := range m.Interfaces {
+			if err := declare("interface", iface.Name); err != nil {
+				return err
+			}
+		}
+		resolve := func(t Type, where string) error {
+			for t.Kind == KindSequence {
+				t = *t.Elem
+			}
+			if t.Kind != KindNamed {
+				return nil
+			}
+			if kind := names[t.Name]; kind != "struct" && kind != "enum" {
+				return fmt.Errorf("idl: module %q: %s references unknown type %q", m.Name, where, t.Name)
+			}
+			return nil
+		}
+		for _, st := range m.Structs {
+			for _, field := range st.Fields {
+				if field.Type.Kind == KindVoid {
+					return fmt.Errorf("idl: module %q: struct %s field %s cannot be void", m.Name, st.Name, field.Name)
+				}
+				if err := resolve(field.Type, "struct "+st.Name); err != nil {
+					return err
+				}
+			}
+		}
+		for _, iface := range m.Interfaces {
+			opNames := make(map[string]bool)
+			for _, op := range iface.Ops {
+				if opNames[op.Name] {
+					return fmt.Errorf("idl: interface %s: duplicate operation %q", iface.Name, op.Name)
+				}
+				opNames[op.Name] = true
+				if err := resolve(op.Ret, "operation "+op.Name); err != nil {
+					return err
+				}
+				for _, pa := range op.Params {
+					if pa.Type.Kind == KindVoid {
+						return fmt.Errorf("idl: operation %s: parameter %s cannot be void", op.Name, pa.Name)
+					}
+					if err := resolve(pa.Type, "operation "+op.Name); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+// Package interceptor provides MEAD's transparent interception layer.
+//
+// The paper interposes on the eight UNIX socket calls (socket, accept,
+// connect, listen, close, read, writev, select) via LD_PRELOAD library
+// interpositioning, so that an *unmodified* ORB's GIOP byte stream can be
+// observed, rewritten, and redirected underneath the application. Go has no
+// symbol preloading, but the paper's interceptor uses those syscalls for
+// exactly two capabilities, both of which this package reproduces at the
+// same boundary (the transport under the ORB):
+//
+//   - read()/writev() interception -> frame-granular read/write hooks that
+//     can consume, replace, or prepend whole GIOP/MEAD frames; and
+//   - dup2()-based connection redirection -> SwapUnder, which atomically
+//     repoints the byte stream at a different TCP connection while the ORB
+//     keeps using the same net.Conn value ("the Interceptor opening a new
+//     TCP socket ... and then using the UNIX dup2() call to close the
+//     connection to the failing replica, and point the connection to the
+//     new address").
+//
+// A Conn is used by a single request/reply goroutine, like a socket in a
+// single-threaded CORBA client; only Close and SwapUnder may be called
+// concurrently with Read/Write.
+package interceptor
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mead/internal/giop"
+)
+
+// Hooks are the interception points. All hooks run on the goroutine calling
+// Read/Write; they may call SwapUnder.
+type Hooks struct {
+	// OnReadFrame observes each whole inbound frame (GIOP or MEAD) and
+	// returns the bytes to surface to the ORB: f.Raw to pass it through,
+	// nil to consume it silently, or substitute bytes (which must
+	// themselves be whole frames).
+	OnReadFrame func(c *Conn, f giop.Frame) ([]byte, error)
+	// OnWriteFrame observes each whole outbound frame and returns the
+	// bytes to put on the wire: f.Raw to pass through, a replacement, or a
+	// replacement with additional piggybacked frames.
+	OnWriteFrame func(c *Conn, f giop.Frame) ([]byte, error)
+	// OnReadEOF is consulted when the underlying transport fails mid-read
+	// (EOF or reset — the paper's signature of an abrupt server failure).
+	// It may repair the connection (SwapUnder) and return fabricated bytes
+	// to surface plus resume=true; resume=false propagates the error.
+	OnReadEOF func(c *Conn, err error) (substitute []byte, resume bool)
+}
+
+// ErrIntercepted reports a hook-initiated failure.
+var ErrIntercepted = errors.New("interceptor: hook failed the operation")
+
+// Conn is the frame-aware interposing connection. It implements net.Conn.
+type Conn struct {
+	hooks Hooks
+
+	underMu sync.Mutex
+	under   net.Conn
+	closed  bool
+
+	readBuf  []byte // filtered bytes awaiting delivery to the ORB
+	writeBuf []byte // partial outbound frame accumulation
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// New wraps under with the given hooks.
+func New(under net.Conn, hooks Hooks) *Conn {
+	return &Conn{under: under, hooks: hooks}
+}
+
+// Under returns the current underlying connection.
+func (c *Conn) Under() net.Conn {
+	c.underMu.Lock()
+	defer c.underMu.Unlock()
+	return c.under
+}
+
+// SwapUnder atomically redirects the stream to newConn, closing the old
+// transport — the dup2() equivalent. Any buffered inbound bytes are
+// preserved (they were already delivered by the old replica).
+func (c *Conn) SwapUnder(newConn net.Conn) {
+	c.underMu.Lock()
+	old := c.under
+	c.under = newConn
+	c.underMu.Unlock()
+	if old != nil && old != newConn {
+		_ = old.Close()
+	}
+}
+
+// Close closes the current underlying transport.
+func (c *Conn) Close() error {
+	c.underMu.Lock()
+	c.closed = true
+	under := c.under
+	c.underMu.Unlock()
+	if under == nil {
+		return nil
+	}
+	return under.Close()
+}
+
+func (c *Conn) isClosed() bool {
+	c.underMu.Lock()
+	defer c.underMu.Unlock()
+	return c.closed
+}
+
+// Read returns filtered stream bytes. It reads whole frames from the
+// underlying transport, passes each through OnReadFrame, and serves the
+// results; the ORB on top performs its usual header-then-body reads and
+// never observes MEAD frames or suppressed messages.
+func (c *Conn) Read(p []byte) (int, error) {
+	for len(c.readBuf) == 0 {
+		if c.isClosed() {
+			return 0, net.ErrClosed
+		}
+		f, err := giop.ReadFrame(c.Under())
+		if err != nil {
+			if c.isClosed() {
+				return 0, err
+			}
+			if isStreamEnd(err) && c.hooks.OnReadEOF != nil {
+				if sub, resume := c.hooks.OnReadEOF(c, err); resume {
+					c.readBuf = append(c.readBuf, sub...)
+					continue
+				}
+			}
+			return 0, err
+		}
+		out := f.Raw
+		if c.hooks.OnReadFrame != nil {
+			out, err = c.hooks.OnReadFrame(c, f)
+			if err != nil {
+				return 0, err
+			}
+		}
+		c.readBuf = append(c.readBuf, out...)
+	}
+	n := copy(p, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	return n, nil
+}
+
+// Write accumulates outbound bytes until whole frames are available, passes
+// each frame through OnWriteFrame, and writes the (possibly rewritten)
+// result to the wire.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.writeBuf = append(c.writeBuf, p...)
+	for {
+		frameLen, ok := peekFrameLen(c.writeBuf)
+		if !ok {
+			return len(p), nil // wait for the rest of the frame
+		}
+		raw := make([]byte, frameLen)
+		copy(raw, c.writeBuf[:frameLen])
+		c.writeBuf = c.writeBuf[frameLen:]
+
+		f, err := parseFrame(raw)
+		if err != nil {
+			return 0, err
+		}
+		out := raw
+		if c.hooks.OnWriteFrame != nil {
+			out, err = c.hooks.OnWriteFrame(c, f)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if len(out) == 0 {
+			continue
+		}
+		if _, err := c.Under().Write(out); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// LocalAddr returns the current transport's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.Under().LocalAddr() }
+
+// RemoteAddr returns the current transport's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.Under().RemoteAddr() }
+
+// SetDeadline sets deadlines on the current transport.
+func (c *Conn) SetDeadline(t time.Time) error { return c.Under().SetDeadline(t) }
+
+// SetReadDeadline sets the read deadline on the current transport.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.Under().SetReadDeadline(t) }
+
+// SetWriteDeadline sets the write deadline on the current transport.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.Under().SetWriteDeadline(t) }
+
+// isStreamEnd reports whether err looks like the peer vanishing (EOF,
+// reset, or closed pipe) as opposed to a protocol error.
+func isStreamEnd(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return !ne.Timeout()
+	}
+	// syscall-level resets arrive as *net.OpError wrapping ECONNRESET.
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// peekFrameLen reports the total length of the frame at the head of buf,
+// if a complete header is present.
+func peekFrameLen(buf []byte) (int, bool) {
+	if len(buf) < giop.HeaderLen {
+		return 0, false
+	}
+	switch string(buf[:4]) {
+	case giop.Magic:
+		h, err := giop.ParseHeader(buf[:giop.HeaderLen])
+		if err != nil {
+			return 0, false
+		}
+		total := giop.HeaderLen + int(h.Size)
+		if len(buf) < total {
+			return 0, false
+		}
+		return total, true
+	case giop.MeadMagic:
+		_, n, err := giop.ParseMeadHeader(buf[:giop.MeadHeaderLen])
+		if err != nil {
+			return 0, false
+		}
+		total := giop.MeadHeaderLen + int(n)
+		if len(buf) < total {
+			return 0, false
+		}
+		return total, true
+	default:
+		return 0, false
+	}
+}
+
+// parseFrame decodes a complete raw frame.
+func parseFrame(raw []byte) (giop.Frame, error) {
+	switch string(raw[:4]) {
+	case giop.Magic:
+		h, err := giop.ParseHeader(raw[:giop.HeaderLen])
+		if err != nil {
+			return giop.Frame{}, err
+		}
+		return giop.Frame{Kind: giop.FrameGIOP, Header: h, Raw: raw}, nil
+	case giop.MeadMagic:
+		t, _, err := giop.ParseMeadHeader(raw[:giop.MeadHeaderLen])
+		if err != nil {
+			return giop.Frame{}, err
+		}
+		return giop.Frame{
+			Kind: giop.FrameMEAD,
+			Mead: giop.MeadMessage{Type: t, Payload: raw[giop.MeadHeaderLen:]},
+			Raw:  raw,
+		}, nil
+	default:
+		return giop.Frame{}, giop.ErrBadMagic
+	}
+}

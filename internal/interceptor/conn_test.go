@@ -1,0 +1,402 @@
+package interceptor
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mead/internal/cdr"
+	"mead/internal/giop"
+)
+
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	<-done
+	if cerr != nil || err != nil {
+		t.Fatalf("pair: %v %v", cerr, err)
+	}
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = server.Close()
+	})
+	return client, server
+}
+
+func requestFrame(id uint32, op string) []byte {
+	return giop.EncodeRequest(cdr.BigEndian, giop.RequestHeader{
+		RequestID:        id,
+		ResponseExpected: true,
+		ObjectKey:        giop.MakeObjectKey("s", "o"),
+		Operation:        op,
+	}, nil)
+}
+
+func replyFrame(id uint32) []byte {
+	return giop.EncodeReply(cdr.BigEndian,
+		giop.ReplyHeader{RequestID: id, Status: giop.ReplyNoException}, nil)
+}
+
+func TestPassThrough(t *testing.T) {
+	cEnd, sEnd := tcpPair(t)
+	ic := New(cEnd, Hooks{})
+	msg := requestFrame(1, "ping")
+
+	go func() {
+		_, _ = ic.Write(msg)
+	}()
+	h, body, err := giop.ReadMessage(sEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != giop.MsgRequest {
+		t.Fatalf("type = %v", h.Type)
+	}
+	hdr, _, err := giop.DecodeRequest(h.Order, body)
+	if err != nil || hdr.Operation != "ping" {
+		t.Fatalf("request = %+v, %v", hdr, err)
+	}
+
+	// And the reverse direction through Read.
+	reply := replyFrame(1)
+	go func() { _, _ = sEnd.Write(reply) }()
+	got := make([]byte, len(reply))
+	if _, err := io.ReadFull(ic, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, reply) {
+		t.Fatal("reply bytes differ through interceptor")
+	}
+}
+
+func TestPartialWritesReassembled(t *testing.T) {
+	cEnd, sEnd := tcpPair(t)
+	ic := New(cEnd, Hooks{})
+	msg := requestFrame(7, "chunked")
+
+	go func() {
+		for i := 0; i < len(msg); i += 5 {
+			end := i + 5
+			if end > len(msg) {
+				end = len(msg)
+			}
+			if _, err := ic.Write(msg[i:end]); err != nil {
+				return
+			}
+		}
+	}()
+	h, body, err := giop.ReadMessage(sEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err := giop.DecodeRequest(h.Order, body)
+	if err != nil || hdr.RequestID != 7 {
+		t.Fatalf("request = %+v, %v", hdr, err)
+	}
+}
+
+func TestWriteHookReplacesFrame(t *testing.T) {
+	cEnd, sEnd := tcpPair(t)
+	replacement := replyFrame(99)
+	ic := New(cEnd, Hooks{
+		OnWriteFrame: func(c *Conn, f giop.Frame) ([]byte, error) {
+			if f.Kind == giop.FrameGIOP && f.Header.Type == giop.MsgRequest {
+				return replacement, nil
+			}
+			return f.Raw, nil
+		},
+	})
+	go func() { _, _ = ic.Write(requestFrame(1, "x")) }()
+	h, body, err := giop.ReadMessage(sEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != giop.MsgReply {
+		t.Fatalf("wire frame type = %v, want substituted Reply", h.Type)
+	}
+	rh, _, err := giop.DecodeReply(h.Order, body)
+	if err != nil || rh.RequestID != 99 {
+		t.Fatalf("substituted reply = %+v, %v", rh, err)
+	}
+}
+
+func TestWriteHookPiggybacksFrames(t *testing.T) {
+	cEnd, sEnd := tcpPair(t)
+	mead := giop.EncodeMead(giop.MeadFailover, []byte("to"))
+	ic := New(cEnd, Hooks{
+		OnWriteFrame: func(c *Conn, f giop.Frame) ([]byte, error) {
+			out := make([]byte, 0, len(mead)+len(f.Raw))
+			out = append(out, mead...)
+			out = append(out, f.Raw...)
+			return out, nil
+		},
+	})
+	reply := replyFrame(4)
+	go func() { _, _ = ic.Write(reply) }()
+
+	f1, err := giop.ReadFrame(sEnd)
+	if err != nil || f1.Kind != giop.FrameMEAD {
+		t.Fatalf("first wire frame = %+v, %v", f1, err)
+	}
+	f2, err := giop.ReadFrame(sEnd)
+	if err != nil || f2.Kind != giop.FrameGIOP {
+		t.Fatalf("second wire frame = %+v, %v", f2, err)
+	}
+	if !bytes.Equal(f2.Raw, reply) {
+		t.Fatal("piggybacked reply corrupted")
+	}
+}
+
+func TestReadHookConsumesMeadFrames(t *testing.T) {
+	cEnd, sEnd := tcpPair(t)
+	var meadSeen int
+	ic := New(cEnd, Hooks{
+		OnReadFrame: func(c *Conn, f giop.Frame) ([]byte, error) {
+			if f.Kind == giop.FrameMEAD {
+				meadSeen++
+				return nil, nil // consume: the ORB never sees it
+			}
+			return f.Raw, nil
+		},
+	})
+	reply := replyFrame(2)
+	go func() {
+		_, _ = sEnd.Write(giop.EncodeMead(giop.MeadFailover, []byte("addr")))
+		_, _ = sEnd.Write(reply)
+	}()
+	h, body, err := giop.ReadMessage(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, _, err := giop.DecodeReply(h.Order, body)
+	if err != nil || rh.RequestID != 2 {
+		t.Fatalf("reply = %+v, %v", rh, err)
+	}
+	if meadSeen != 1 {
+		t.Fatalf("mead frames seen = %d", meadSeen)
+	}
+}
+
+func TestOnReadEOFFabricatesReply(t *testing.T) {
+	cEnd, sEnd := tcpPair(t)
+	fabricated := giop.EncodeReply(cdr.BigEndian,
+		giop.ReplyHeader{RequestID: 5, Status: giop.ReplyNeedsAddressingMode}, nil)
+	ic := New(cEnd, Hooks{
+		OnReadEOF: func(c *Conn, err error) ([]byte, bool) {
+			return fabricated, true
+		},
+	})
+	_ = sEnd.Close() // abrupt server failure
+	h, body, err := giop.ReadMessage(ic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, _, err := giop.DecodeReply(h.Order, body)
+	if err != nil || rh.Status != giop.ReplyNeedsAddressingMode || rh.RequestID != 5 {
+		t.Fatalf("fabricated reply = %+v, %v", rh, err)
+	}
+}
+
+func TestOnReadEOFDecline(t *testing.T) {
+	cEnd, sEnd := tcpPair(t)
+	ic := New(cEnd, Hooks{
+		OnReadEOF: func(c *Conn, err error) ([]byte, bool) { return nil, false },
+	})
+	_ = sEnd.Close()
+	buf := make([]byte, 16)
+	if _, err := ic.Read(buf); err == nil {
+		t.Fatal("read succeeded after declined EOF hook")
+	}
+}
+
+func TestSwapUnderRedirectsSubsequentTraffic(t *testing.T) {
+	cEnd1, sEnd1 := tcpPair(t)
+	cEnd2, sEnd2 := tcpPair(t)
+	ic := New(cEnd1, Hooks{})
+
+	// Small frames fit in the TCP buffer, so synchronous writes are safe.
+	if _, err := ic.Write(requestFrame(1, "first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := giop.ReadMessage(sEnd1); err != nil {
+		t.Fatal(err)
+	}
+
+	ic.SwapUnder(cEnd2)
+
+	if _, err := ic.Write(requestFrame(2, "second")); err != nil {
+		t.Fatal(err)
+	}
+	h, body, err := giop.ReadMessage(sEnd2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err := giop.DecodeRequest(h.Order, body)
+	if err != nil || hdr.Operation != "second" {
+		t.Fatalf("redirected request = %+v, %v", hdr, err)
+	}
+
+	// The old transport was closed by the swap (dup2 semantics).
+	one := make([]byte, 1)
+	_ = sEnd1.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := sEnd1.Read(one); err == nil {
+		t.Fatal("old transport still alive after swap")
+	}
+}
+
+func TestSwapInsideReadHook(t *testing.T) {
+	// The MEAD client scheme swaps the transport from within the read hook
+	// that delivers the final reply of the failing replica.
+	cEnd1, sEnd1 := tcpPair(t)
+	cEnd2, sEnd2 := tcpPair(t)
+	ic := New(cEnd1, Hooks{
+		OnReadFrame: func(c *Conn, f giop.Frame) ([]byte, error) {
+			c.SwapUnder(cEnd2)
+			return f.Raw, nil
+		},
+	})
+	go func() { _, _ = sEnd1.Write(replyFrame(1)) }()
+	if _, _, err := giop.ReadMessage(ic); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ic.Write(requestFrame(2, "after-swap")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := giop.ReadMessage(sEnd2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseUnblocksRead(t *testing.T) {
+	cEnd, _ := tcpPair(t)
+	ic := New(cEnd, Hooks{})
+	errCh := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		_, err := ic.Read(buf)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_ = ic.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("read returned nil after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read did not unblock on close")
+	}
+}
+
+func TestReadHookErrorPropagates(t *testing.T) {
+	cEnd, sEnd := tcpPair(t)
+	hookErr := errors.New("reject")
+	ic := New(cEnd, Hooks{
+		OnReadFrame: func(c *Conn, f giop.Frame) ([]byte, error) { return nil, hookErr },
+	})
+	go func() { _, _ = sEnd.Write(replyFrame(1)) }()
+	buf := make([]byte, 4)
+	if _, err := ic.Read(buf); !errors.Is(err, hookErr) {
+		t.Fatalf("err = %v, want hook error", err)
+	}
+}
+
+func TestAddrsAndDeadlines(t *testing.T) {
+	cEnd, _ := tcpPair(t)
+	ic := New(cEnd, Hooks{})
+	if ic.LocalAddr() == nil || ic.RemoteAddr() == nil {
+		t.Fatal("nil addrs")
+	}
+	if err := ic.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ic.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ic.SetWriteDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeekFrameLen(t *testing.T) {
+	req := requestFrame(1, "x")
+	if n, ok := peekFrameLen(req); !ok || n != len(req) {
+		t.Fatalf("peek GIOP = %d,%v", n, ok)
+	}
+	if _, ok := peekFrameLen(req[:8]); ok {
+		t.Fatal("short header peeked")
+	}
+	if _, ok := peekFrameLen(req[:len(req)-1]); ok {
+		t.Fatal("incomplete frame peeked")
+	}
+	mead := giop.EncodeMead(giop.MeadNotice, []byte{1})
+	if n, ok := peekFrameLen(mead); !ok || n != len(mead) {
+		t.Fatalf("peek MEAD = %d,%v", n, ok)
+	}
+	if _, ok := peekFrameLen([]byte("XXXXXXXXXXXXXXXX")); ok {
+		t.Fatal("junk peeked")
+	}
+}
+
+// TestPropertyPassThroughPreservesStream: with no hooks, any sequence of
+// GIOP and MEAD frames crosses the interceptor byte-identically in both
+// directions.
+func TestPropertyPassThroughPreservesStream(t *testing.T) {
+	f := func(seed int64, frameSpec []byte) bool {
+		if len(frameSpec) == 0 || len(frameSpec) > 24 {
+			return true
+		}
+		cEnd, sEnd := tcpPair(t)
+		ic := New(cEnd, Hooks{})
+
+		var want bytes.Buffer
+		for i, b := range frameSpec {
+			var frame []byte
+			switch b % 3 {
+			case 0:
+				frame = requestFrame(uint32(i), "op")
+			case 1:
+				frame = replyFrame(uint32(i))
+			default:
+				frame = giop.EncodeMead(giop.MeadNotice, []byte{b})
+			}
+			want.Write(frame)
+		}
+		go func() {
+			data := want.Bytes()
+			// Write in odd-sized chunks to exercise reassembly.
+			for i := 0; i < len(data); i += 7 {
+				end := i + 7
+				if end > len(data) {
+					end = len(data)
+				}
+				if _, err := ic.Write(data[i:end]); err != nil {
+					return
+				}
+			}
+		}()
+		got := make([]byte, want.Len())
+		_ = sEnd.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := io.ReadFull(sEnd, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, want.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package namesvc provides the CORBA Naming Service substitute used by the
+// reactive recovery baselines: replicas bind their stringified IORs under
+// "<service>/<replica>" names, and clients resolve them (paying a visible
+// round trip, which is the "spike" the paper measures when reactive clients
+// re-resolve references after a failure).
+//
+// Bindings survive a replica's crash until the restarted replica rebinds:
+// that is precisely what creates the stale references that cause the cached
+// reactive scheme's TRANSIENT exceptions in the paper (Section 5.2.1).
+package namesvc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mead/internal/cdr"
+	"mead/internal/giop"
+)
+
+// Wire opcodes.
+const (
+	opBind    byte = 1
+	opRebind  byte = 2
+	opResolve byte = 3
+	opUnbind  byte = 4
+	opList    byte = 5
+)
+
+// Reply statuses.
+const (
+	stOK       byte = 1
+	stNotFound byte = 2
+	stError    byte = 3
+)
+
+// Service errors.
+var (
+	// ErrNotFound reports an unbound name.
+	ErrNotFound = errors.New("namesvc: name not found")
+	// ErrAlreadyBound reports a bind over an existing name (use Rebind).
+	ErrAlreadyBound = errors.New("namesvc: name already bound")
+	// ErrClosed reports use of a closed server or client.
+	ErrClosed = errors.New("namesvc: closed")
+)
+
+type binding struct {
+	name string
+	ior  string // stringified IOR
+	seq  int    // original registration order, stable across rebinds
+}
+
+// Server is the naming service daemon.
+type Server struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	bindings map[string]*binding
+	nextSeq  int
+	closed   bool
+}
+
+// NewServer returns an unstarted naming service.
+func NewServer() *Server {
+	return &Server{bindings: make(map[string]*binding)}
+}
+
+// Start begins serving on addr (e.g. "127.0.0.1:0").
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("namesvc: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	return nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// bindLocked implements bind/rebind. Rebinding preserves the original
+// registration sequence so "next replica" ordering is stable across
+// restarts.
+func (s *Server) bind(name, ior string, rebind bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.bindings[name]; ok {
+		if !rebind {
+			return ErrAlreadyBound
+		}
+		existing.ior = ior
+		return nil
+	}
+	s.bindings[name] = &binding{name: name, ior: ior, seq: s.nextSeq}
+	s.nextSeq++
+	return nil
+}
+
+func (s *Server) resolve(name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bindings[name]
+	if !ok {
+		return "", false
+	}
+	return b.ior, true
+}
+
+func (s *Server) unbind(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.bindings[name]; !ok {
+		return false
+	}
+	delete(s.bindings, name)
+	return true
+}
+
+// list returns (name, ior) pairs whose names start with prefix, in
+// registration order.
+func (s *Server) list(prefix string) []binding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []binding
+	for _, b := range s.bindings {
+		if strings.HasPrefix(b.name, prefix) {
+			out = append(out, *b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		reply, err := s.handle(frame)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(frame []byte) ([]byte, error) {
+	d := cdr.NewDecoder(frame, cdr.BigEndian)
+	op, err := d.ReadOctet()
+	if err != nil {
+		return nil, err
+	}
+	e := cdr.NewEncoder(cdr.BigEndian)
+	switch op {
+	case opBind, opRebind:
+		name, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		ior, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.bind(name, ior, op == opRebind); err != nil {
+			e.WriteOctet(stError)
+			e.WriteString(err.Error())
+		} else {
+			e.WriteOctet(stOK)
+		}
+	case opResolve:
+		name, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		if ior, ok := s.resolve(name); ok {
+			e.WriteOctet(stOK)
+			e.WriteString(ior)
+		} else {
+			e.WriteOctet(stNotFound)
+		}
+	case opUnbind:
+		name, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		if s.unbind(name) {
+			e.WriteOctet(stOK)
+		} else {
+			e.WriteOctet(stNotFound)
+		}
+	case opList:
+		prefix, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		entries := s.list(prefix)
+		e.WriteOctet(stOK)
+		e.WriteULong(uint32(len(entries)))
+		for _, b := range entries {
+			e.WriteString(b.name)
+			e.WriteString(b.ior)
+		}
+	default:
+		return nil, fmt.Errorf("namesvc: unknown op %d", op)
+	}
+	return e.Bytes(), nil
+}
+
+// Entry is one (name, IOR) binding as returned by List.
+type Entry struct {
+	Name string
+	IOR  giop.IOR
+}

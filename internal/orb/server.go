@@ -1,0 +1,354 @@
+// Package orb implements the miniature CORBA Object Request Broker this
+// reproduction substitutes for TAO: a server ORB (listener + object adapter
+// dispatching GIOP Requests to servants registered under persistent object
+// keys) and a client ORB (connection management, request/reply, and the
+// native handling of LOCATION_FORWARD and NEEDS_ADDRESSING_MODE replies that
+// the paper's proactive schemes exploit).
+//
+// Both sides accept a connection-wrapper hook, which is where the MEAD
+// interceptors interpose on the byte stream — the Go equivalent of the
+// paper's library-interpositioning of socket(), read(), writev() et al.
+// The ORB core itself stays "unmodified": it never looks at MEAD frames and
+// has no knowledge of the recovery schemes.
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mead/internal/cdr"
+	"mead/internal/giop"
+)
+
+// Servant is a CORBA object implementation: it receives an operation name
+// with decoded-argument access and writes its result.
+//
+// Returning a *giop.SystemException maps to a SYSTEM_EXCEPTION reply;
+// a *UserException maps to USER_EXCEPTION; any other error maps to a
+// CORBA INTERNAL system exception.
+type Servant interface {
+	Invoke(op string, args *cdr.Decoder, result *cdr.Encoder) error
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(op string, args *cdr.Decoder, result *cdr.Encoder) error
+
+// Invoke calls f.
+func (f ServantFunc) Invoke(op string, args *cdr.Decoder, result *cdr.Encoder) error {
+	return f(op, args, result)
+}
+
+// UserException is a CORBA user exception raised by a servant and surfaced
+// to the client application.
+type UserException struct {
+	RepoID string
+}
+
+func (e *UserException) Error() string {
+	return fmt.Sprintf("CORBA user exception %s", e.RepoID)
+}
+
+// ConnWrapper interposes on an accepted or dialed connection; it is the
+// attachment point for MEAD interceptors.
+type ConnWrapper func(net.Conn) net.Conn
+
+// ErrServerClosed reports use of a closed server ORB.
+var ErrServerClosed = errors.New("orb: server closed")
+
+// ServerOption configures a ServerORB.
+type ServerOption interface{ applyServer(*ServerORB) }
+
+type serverOptionFunc func(*ServerORB)
+
+func (f serverOptionFunc) applyServer(s *ServerORB) { f(s) }
+
+// WithServerConnWrapper interposes w on every accepted connection.
+func WithServerConnWrapper(w ConnWrapper) ServerOption {
+	return serverOptionFunc(func(s *ServerORB) { s.wrap = w })
+}
+
+// WithServerByteOrder sets the byte order of replies (default big-endian).
+func WithServerByteOrder(order cdr.ByteOrder) ServerOption {
+	return serverOptionFunc(func(s *ServerORB) { s.order = order })
+}
+
+// WithServerMaxBodyBytes enables GIOP 1.1 fragmentation of replies whose
+// bodies exceed n bytes (0 disables; the default).
+func WithServerMaxBodyBytes(n int) ServerOption {
+	return serverOptionFunc(func(s *ServerORB) { s.maxBody = n })
+}
+
+// WithConnClosedHook registers a callback invoked (with the remaining
+// active-connection count) whenever a client connection closes. The
+// proactive fault-tolerance manager uses it to detect quiescence before
+// rejuvenating a faulty replica.
+func WithConnClosedHook(hook func(active int)) ServerOption {
+	return serverOptionFunc(func(s *ServerORB) { s.onConnClosed = hook })
+}
+
+// ServerORB is the server-side ORB: listener plus object adapter.
+type ServerORB struct {
+	order        cdr.ByteOrder
+	wrap         ConnWrapper
+	onConnClosed func(active int)
+	maxBody      int
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	servants map[string]Servant
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer returns a server ORB.
+func NewServer(opts ...ServerOption) *ServerORB {
+	s := &ServerORB{
+		order:    cdr.BigEndian,
+		servants: make(map[string]Servant),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o.applyServer(s)
+	}
+	return s
+}
+
+// Register binds a servant to a persistent object key. It may be called
+// before or after Listen.
+func (s *ServerORB) Register(objectKey []byte, servant Servant) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.servants[string(objectKey)] = servant
+}
+
+// Listen binds the ORB's endpoint (e.g. "127.0.0.1:0") without accepting.
+func (s *ServerORB) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("orb: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound endpoint.
+func (s *ServerORB) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// IORFor builds the IOR clients use to reach the object registered under
+// objectKey on this ORB instance.
+func (s *ServerORB) IORFor(typeID string, objectKey []byte) (giop.IOR, error) {
+	addr := s.Addr()
+	if addr == "" {
+		return giop.IOR{}, errors.New("orb: IORFor before Listen")
+	}
+	return giop.NewIORForAddr(typeID, addr, objectKey)
+}
+
+// Start begins accepting connections. Listen must have been called.
+func (s *ServerORB) Start() error {
+	if s.ln == nil {
+		return errors.New("orb: Start before Listen")
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	return nil
+}
+
+// ActiveConnections returns the number of live client connections.
+func (s *ServerORB) ActiveConnections() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Crash abruptly terminates the ORB: the listener and every live connection
+// are torn down immediately, exactly what a remote peer observes of a
+// process crash. Used by the fault injector.
+func (s *ServerORB) Crash() {
+	s.shutdown()
+}
+
+// Close gracefully shuts the ORB down. With the recovery schemes having
+// migrated all clients first, there is no observable difference from Crash
+// at the transport level; the distinction is that Close is invoked at
+// quiescence.
+func (s *ServerORB) Close() error {
+	s.shutdown()
+	return nil
+}
+
+func (s *ServerORB) shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *ServerORB) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if s.wrap != nil {
+			conn = s.wrap(conn)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *ServerORB) serveConn(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		active := len(s.conns)
+		hook := s.onConnClosed
+		s.mu.Unlock()
+		if hook != nil {
+			hook(active)
+		}
+	}()
+	for {
+		h, body, err := giop.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		switch h.Type {
+		case giop.MsgRequest:
+			if err := s.handleRequest(conn, h, body); err != nil {
+				return
+			}
+		case giop.MsgCloseConnection:
+			return
+		case giop.MsgLocateRequest:
+			if err := s.handleLocate(conn, h, body); err != nil {
+				return
+			}
+		case giop.MsgCancelRequest:
+			// Accepted and ignored: replies are synchronous here, so a
+			// cancel can never overtake the reply it targets.
+		default:
+			_ = giop.WriteMessage(conn, s.order, giop.MsgMessageError, nil)
+			return
+		}
+	}
+}
+
+// handleLocate answers GIOP LocateRequests: OBJECT_HERE for keys this
+// adapter serves, UNKNOWN_OBJECT otherwise.
+func (s *ServerORB) handleLocate(conn net.Conn, h giop.Header, body []byte) error {
+	hdr, err := giop.DecodeLocateRequest(h.Order, body)
+	if err != nil {
+		return giop.WriteMessage(conn, s.order, giop.MsgMessageError, nil)
+	}
+	s.mu.Lock()
+	_, known := s.servants[string(hdr.ObjectKey)]
+	s.mu.Unlock()
+	status := giop.LocateUnknownObject
+	if known {
+		status = giop.LocateObjectHere
+	}
+	reply := giop.EncodeLocateReply(s.order,
+		giop.LocateReplyHeader{RequestID: hdr.RequestID, Status: status}, nil)
+	if err := giop.WriteMessageFragmented(conn, reply, s.maxBody); err != nil {
+		return fmt.Errorf("orb: write locate reply: %w", err)
+	}
+	return nil
+}
+
+func (s *ServerORB) handleRequest(conn net.Conn, h giop.Header, body []byte) error {
+	hdr, args, err := giop.DecodeRequest(h.Order, body)
+	if err != nil {
+		return giop.WriteMessage(conn, s.order, giop.MsgMessageError, nil)
+	}
+
+	s.mu.Lock()
+	servant := s.servants[string(hdr.ObjectKey)]
+	s.mu.Unlock()
+
+	var (
+		status giop.ReplyStatus
+		sysEx  *giop.SystemException
+		userEx *UserException
+		result = cdr.NewEncoder(s.order)
+	)
+	switch {
+	case servant == nil:
+		status = giop.ReplySystemException
+		sysEx = &giop.SystemException{
+			RepoID:    giop.RepoObjectNotExist,
+			Completed: giop.CompletedNo,
+		}
+	default:
+		err := servant.Invoke(hdr.Operation, args, result)
+		switch {
+		case err == nil:
+			status = giop.ReplyNoException
+		case errors.As(err, &sysEx):
+			status = giop.ReplySystemException
+		case errors.As(err, &userEx):
+			status = giop.ReplyUserException
+		default:
+			status = giop.ReplySystemException
+			sysEx = &giop.SystemException{RepoID: giop.RepoInternal, Completed: giop.CompletedYes}
+		}
+	}
+	if !hdr.ResponseExpected {
+		return nil
+	}
+
+	reply := giop.EncodeReply(s.order, giop.ReplyHeader{RequestID: hdr.RequestID, Status: status},
+		func(e *cdr.Encoder) {
+			switch status {
+			case giop.ReplyNoException:
+				e.WriteRaw(result.Bytes())
+			case giop.ReplySystemException:
+				giop.EncodeSystemException(e, sysEx)
+			case giop.ReplyUserException:
+				e.WriteString(userEx.RepoID)
+			}
+		})
+	if err := giop.WriteMessageFragmented(conn, reply, s.maxBody); err != nil {
+		return fmt.Errorf("orb: write reply: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package replica_test
+
+import (
+	"testing"
+	"time"
+
+	"mead/internal/faultinject"
+	"mead/internal/ftmgr"
+	"mead/internal/replica"
+)
+
+func TestRequestLeakCrashesReactiveReplica(t *testing.T) {
+	c := startCluster(t, ftmgr.ReactiveNoCache, 2, func(cfg *replica.ServiceConfig) {
+		cfg.RequestFault = &faultinject.RequestLeakConfig{Capacity: 20, PerRequest: 1}
+	})
+	s := c.client(ftmgr.ReactiveNoCache)
+	sawFailure := false
+	for i := 0; i < 40; i++ {
+		out := s.Invoke()
+		if len(out.Exceptions) > 0 {
+			sawFailure = true
+			break
+		}
+		if out.Err != nil {
+			t.Fatalf("invocation %d: %v", i, out.Err)
+		}
+	}
+	if !sawFailure {
+		t.Fatal("descriptor exhaustion never surfaced reactively")
+	}
+	select {
+	case <-c.reps[0].Done():
+		if c.reps[0].ExitReason() != replica.ExitCrashed {
+			t.Fatalf("exit reason = %v", c.reps[0].ExitReason())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replica never crashed from request leak")
+	}
+}
+
+func TestRequestLeakMaskedByMeadScheme(t *testing.T) {
+	c := startCluster(t, ftmgr.MeadMessage, 3, func(cfg *replica.ServiceConfig) {
+		cfg.RequestFault = &faultinject.RequestLeakConfig{Capacity: 40, PerRequest: 1}
+		cfg.LaunchThreshold = 0.5
+		cfg.MigrateThreshold = 0.7
+	})
+	s := c.client(ftmgr.MeadMessage)
+	failovers := 0
+	for i := 0; i < 60; i++ {
+		out := s.Invoke()
+		if out.Err != nil {
+			t.Fatalf("invocation %d: %v", i, out.Err)
+		}
+		if len(out.Exceptions) != 0 {
+			t.Fatalf("request-leak exhaustion leaked to the app at %d: %v", i, out.Exceptions)
+		}
+		if out.Failover {
+			failovers++
+		}
+	}
+	if failovers == 0 {
+		t.Fatal("no proactive hand-off before descriptor exhaustion")
+	}
+	// The first replica rejuvenated (load-proportional exhaustion at 70%
+	// of 40 requests = after ~28 requests).
+	select {
+	case <-c.reps[0].Done():
+		if c.reps[0].ExitReason() != replica.ExitRejuvenated {
+			t.Fatalf("exit reason = %v, want rejuvenated", c.reps[0].ExitReason())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("first replica never rejuvenated")
+	}
+}
+
+func TestTimerDrivenMonitoringAblation(t *testing.T) {
+	// The timer-driven variant must reach the same outcome (masked
+	// migration) through the poller goroutine instead of the write path.
+	c := startCluster(t, ftmgr.LocationForward, 3, func(cfg *replica.ServiceConfig) {
+		cfg.MonitorInterval = 2 * time.Millisecond
+	})
+	s := c.client(ftmgr.LocationForward)
+	if out := s.Invoke(); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	c.reps[0].Budget().Consume(c.reps[0].Budget().Capacity())
+	// The poller (not the write hook) must flip the migration flag.
+	waitFor(t, "timer-driven migration flag", func() bool {
+		return c.reps[0].Manager().Migrating()
+	})
+	out := s.Invoke()
+	if out.Err != nil || len(out.Exceptions) != 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if out.Replica != "r2" {
+		t.Fatalf("responder = %q, want r2", out.Replica)
+	}
+}
+
+func TestAdaptiveThresholdMigratesBeforeCrash(t *testing.T) {
+	// With adaptive thresholds and a steady leak, the first replica must
+	// migrate its client and rejuvenate rather than crash. (Full
+	// multi-cycle adaptive runs, which need the Recovery Manager, are
+	// covered in internal/experiment.)
+	c := startCluster(t, ftmgr.MeadMessage, 3, func(cfg *replica.ServiceConfig) {
+		cfg.InjectFault = true
+		cfg.Fault = faultinject.Config{
+			BufferBytes: 32 * 1024,
+			Tick:        time.Millisecond,
+			ChunkUnit:   16,
+			Seed:        21,
+		}
+		cfg.AdaptiveLeadTime = 5 * time.Millisecond
+	})
+	s := c.client(ftmgr.MeadMessage)
+	for i := 0; i < 200; i++ {
+		out := s.Invoke()
+		if out.Err != nil {
+			t.Fatalf("invocation %d: %v", i, out.Err)
+		}
+		if len(out.Exceptions) != 0 {
+			t.Fatalf("adaptive run leaked exceptions at %d: %v", i, out.Exceptions)
+		}
+		if out.Replica != "r1" {
+			break // handed off
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	select {
+	case <-c.reps[0].Done():
+		if c.reps[0].ExitReason() != replica.ExitRejuvenated {
+			t.Fatalf("exit reason = %v, want rejuvenated under adaptive threshold", c.reps[0].ExitReason())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("first replica never exited")
+	}
+}
+
+func TestMultiObjectReplicaServesAllKeys(t *testing.T) {
+	c := startCluster(t, ftmgr.LocationForward, 2, func(cfg *replica.ServiceConfig) {
+		cfg.Objects = 8
+	})
+	// Every announced object forwards correctly during migration: the
+	// manager's IOR table holds one entry per object per replica.
+	for _, r := range c.reps {
+		anns := r.Manager().Replicas()
+		for _, a := range anns {
+			if len(a.IORs) != 8 {
+				t.Fatalf("replica %s announced %d IORs, want 8", a.Name, len(a.IORs))
+			}
+		}
+	}
+	s := c.client(ftmgr.LocationForward)
+	if out := s.Invoke(); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	// Migration with multiple objects still masks the hand-off.
+	c.reps[0].Budget().Consume(c.reps[0].Budget().Capacity())
+	out := s.Invoke()
+	if out.Err != nil || len(out.Exceptions) != 0 || out.Replica != "r2" {
+		t.Fatalf("outcome = %+v", out)
+	}
+}

@@ -1,0 +1,144 @@
+package resource
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBudgetRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int64{0, -1} {
+		if _, err := NewBudget("m", c); !errors.Is(err, ErrBadCapacity) {
+			t.Fatalf("capacity %d: err = %v", c, err)
+		}
+	}
+}
+
+func TestBudgetConsumeAndFraction(t *testing.T) {
+	b, err := NewBudget("memory", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "memory" || b.Capacity() != 100 {
+		t.Fatalf("budget = %s/%d", b.Name(), b.Capacity())
+	}
+	if b.Consume(50) {
+		t.Fatal("exhausted at 50%")
+	}
+	if b.Fraction() != 0.5 || b.Used() != 50 {
+		t.Fatalf("fraction = %v used = %d", b.Fraction(), b.Used())
+	}
+	if !b.Consume(50) {
+		t.Fatal("not exhausted at 100%")
+	}
+	if !b.Exhausted() {
+		t.Fatal("Exhausted() = false at capacity")
+	}
+}
+
+func TestBudgetUsedCapsAtCapacity(t *testing.T) {
+	b, _ := NewBudget("m", 10)
+	b.Consume(1000)
+	if b.Used() != 10 {
+		t.Fatalf("Used() = %d, want capped 10", b.Used())
+	}
+	if b.Fraction() < 1 {
+		t.Fatalf("Fraction() = %v, want >= 1", b.Fraction())
+	}
+}
+
+func TestBudgetNegativeConsumeIgnored(t *testing.T) {
+	b, _ := NewBudget("m", 10)
+	b.Consume(5)
+	b.Consume(-100)
+	if b.Used() != 5 {
+		t.Fatalf("Used() = %d after negative consume", b.Used())
+	}
+}
+
+func TestBudgetReset(t *testing.T) {
+	b, _ := NewBudget("m", 10)
+	b.Consume(10)
+	b.Reset()
+	if b.Used() != 0 || b.Exhausted() {
+		t.Fatal("reset did not clear usage")
+	}
+}
+
+func TestBudgetConcurrentConsume(t *testing.T) {
+	b, _ := NewBudget("m", 1_000_000)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				b.Consume(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Used() != 8000 {
+		t.Fatalf("Used() = %d, want 8000", b.Used())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c, err := NewCounter("fds", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Acquire() || c.Acquire() {
+		t.Fatal("exhausted early")
+	}
+	if !c.Acquire() {
+		t.Fatal("not exhausted at max")
+	}
+	c.Release()
+	if c.Fraction() != 2.0/3.0 {
+		t.Fatalf("fraction = %v", c.Fraction())
+	}
+	if c.Name() != "fds" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if _, err := NewCounter("x", 0); !errors.Is(err, ErrBadCapacity) {
+		t.Fatal("zero max accepted")
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	a, _ := NewBudget("a", 100)
+	b, _ := NewBudget("b", 100)
+	a.Consume(20)
+	b.Consume(90)
+	m := MaxOf{a, b}
+	if m.Fraction() != 0.9 {
+		t.Fatalf("MaxOf fraction = %v", m.Fraction())
+	}
+	if m.Name() != "max" {
+		t.Fatalf("name = %q", m.Name())
+	}
+	if (MaxOf{}).Fraction() != 0 {
+		t.Fatal("empty MaxOf fraction != 0")
+	}
+}
+
+func TestQuickBudgetMonotonic(t *testing.T) {
+	f := func(chunks []uint8) bool {
+		b, _ := NewBudget("m", 1<<20)
+		var prev float64
+		for _, c := range chunks {
+			b.Consume(int64(c))
+			f := b.Fraction()
+			if f < prev {
+				return false
+			}
+			prev = f
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Series is a labelled RTT-per-invocation series, the unit of data behind
+// Figures 3 and 4 of the paper.
+type Series struct {
+	Label  string
+	Values []time.Duration
+}
+
+// WriteCSV emits the series as "index,rtt_us" rows with a header line.
+func (s Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "run,rtt_us,label=%s\n", s.Label); err != nil {
+		return fmt.Errorf("stats: write csv header: %w", err)
+	}
+	for i, v := range s.Values {
+		if _, err := fmt.Fprintf(w, "%d,%.1f\n", i+1, float64(v)/float64(time.Microsecond)); err != nil {
+			return fmt.Errorf("stats: write csv row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ASCIIPlot renders a coarse vertical-bar plot of the series, bucketed into
+// the given number of columns, with the per-bucket max shown so that spikes
+// (the interesting feature in Figures 3 and 4) remain visible.
+func (s Series) ASCIIPlot(width, height int) string {
+	if len(s.Values) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	if width > len(s.Values) {
+		width = len(s.Values)
+	}
+	buckets := make([]time.Duration, width)
+	per := float64(len(s.Values)) / float64(width)
+	for i := range buckets {
+		lo := int(float64(i) * per)
+		hi := int(float64(i+1) * per)
+		if hi > len(s.Values) {
+			hi = len(s.Values)
+		}
+		var max time.Duration
+		for _, v := range s.Values[lo:hi] {
+			if v > max {
+				max = v
+			}
+		}
+		buckets[i] = max
+	}
+	var top time.Duration
+	for _, b := range buckets {
+		if b > top {
+			top = b
+		}
+	}
+	if top == 0 {
+		top = 1
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (max %.2fms)\n", s.Label, float64(top)/float64(time.Millisecond))
+	for row := height; row >= 1; row-- {
+		cut := time.Duration(float64(top) * float64(row) / float64(height+1))
+		for _, b := range buckets {
+			if b > cut {
+				sb.WriteByte('|')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewWeibullRejectsBadParams(t *testing.T) {
+	tests := []struct {
+		name  string
+		scale float64
+		shape float64
+	}{
+		{name: "zero scale", scale: 0, shape: 2},
+		{name: "zero shape", scale: 64, shape: 0},
+		{name: "negative scale", scale: -1, shape: 2},
+		{name: "negative shape", scale: 64, shape: -2},
+		{name: "nan scale", scale: math.NaN(), shape: 2},
+		{name: "nan shape", scale: 64, shape: math.NaN()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewWeibull(tt.scale, tt.shape, 1); err == nil {
+				t.Fatalf("NewWeibull(%v, %v) succeeded, want error", tt.scale, tt.shape)
+			}
+		})
+	}
+}
+
+func TestWeibullSampleMeanMatchesAnalytical(t *testing.T) {
+	w, err := NewWeibull(64, 2.0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += w.Sample()
+	}
+	got := sum / n
+	want := w.Mean() // 64 * Gamma(1.5) = 56.72...
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("empirical mean %.3f, analytical mean %.3f (>2%% apart)", got, want)
+	}
+}
+
+func TestWeibullMeanFormula(t *testing.T) {
+	w, err := NewWeibull(64, 2.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 64 * math.Gamma(1.5)
+	if math.Abs(w.Mean()-want) > 1e-9 {
+		t.Fatalf("Mean() = %v, want %v", w.Mean(), want)
+	}
+}
+
+func TestWeibullSamplesNonNegative(t *testing.T) {
+	w, err := NewWeibull(64, 2.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if s := w.Sample(); s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("sample %d = %v, want finite non-negative", i, s)
+		}
+	}
+}
+
+func TestWeibullDeterministicForSeed(t *testing.T) {
+	a, _ := NewWeibull(64, 2.0, 99)
+	b, _ := NewWeibull(64, 2.0, 99)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Sample(), b.Sample(); x != y {
+			t.Fatalf("sample %d differs across identically seeded samplers: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestWeibullShapePropertyCDF(t *testing.T) {
+	// Property: for any valid parameters, the empirical CDF at the scale
+	// parameter should be close to 1 - 1/e (the Weibull CDF at x=scale is
+	// 1 - exp(-1) regardless of shape).
+	f := func(scaleRaw, shapeRaw uint8, seed int64) bool {
+		scale := 1 + float64(scaleRaw)
+		shape := 0.5 + float64(shapeRaw)/32
+		w, err := NewWeibull(scale, shape, seed)
+		if err != nil {
+			return false
+		}
+		const n = 5000
+		below := 0
+		for i := 0; i < n; i++ {
+			if w.Sample() <= scale {
+				below++
+			}
+		}
+		got := float64(below) / n
+		want := 1 - math.Exp(-1)
+		return math.Abs(got-want) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zero value", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]time.Duration{5 * time.Millisecond})
+	if s.Count != 1 || s.Mean != 5*time.Millisecond || s.Min != s.Max || s.Stddev != 0 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+}
+
+func TestSummarizeKnownSeries(t *testing.T) {
+	series := []time.Duration{1, 2, 3, 4, 5}
+	s := Summarize(series)
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v, want 3", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Fatalf("min/max = %v/%v, want 1/5", s.Min, s.Max)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %v, want 3", s.P50)
+	}
+	// population stddev of 1..5 is sqrt(2)
+	want := time.Duration(math.Sqrt(2))
+	if s.Stddev != want {
+		t.Fatalf("stddev = %v, want %v", s.Stddev, want)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	series := []time.Duration{5, 1, 4, 2, 3}
+	Summarize(series)
+	want := []time.Duration{5, 1, 4, 2, 3}
+	for i := range series {
+		if series[i] != want[i] {
+			t.Fatalf("input mutated at %d: %v", i, series)
+		}
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	sorted := []time.Duration{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{p: -1, want: 10},
+		{p: 0, want: 10},
+		{p: 1, want: 40},
+		{p: 2, want: 40},
+		{p: 0.5, want: 25},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestOutliersFlagsSpikes(t *testing.T) {
+	series := make([]time.Duration, 1000)
+	for i := range series {
+		series[i] = time.Millisecond
+	}
+	series[100] = 20 * time.Millisecond
+	series[500] = 30 * time.Millisecond
+	r := Outliers(series)
+	if r.Count != 2 {
+		t.Fatalf("outlier count = %d, want 2", r.Count)
+	}
+	if r.MaxSpike != 30*time.Millisecond {
+		t.Fatalf("max spike = %v, want 30ms", r.MaxSpike)
+	}
+	if len(r.Indices) != 2 || r.Indices[0] != 100 || r.Indices[1] != 500 {
+		t.Fatalf("indices = %v, want [100 500]", r.Indices)
+	}
+	if math.Abs(r.Fraction-0.002) > 1e-9 {
+		t.Fatalf("fraction = %v, want 0.002", r.Fraction)
+	}
+}
+
+func TestOutliersUniformSeriesHasNone(t *testing.T) {
+	series := make([]time.Duration, 100)
+	for i := range series {
+		series[i] = time.Millisecond
+	}
+	if r := Outliers(series); r.Count != 0 {
+		t.Fatalf("uniform series produced %d outliers", r.Count)
+	}
+}
+
+func TestOutliersEmpty(t *testing.T) {
+	if r := Outliers(nil); r.Count != 0 || r.Fraction != 0 {
+		t.Fatalf("Outliers(nil) = %+v, want zero", r)
+	}
+}
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s := Series{Label: "mead", Values: []time.Duration{time.Millisecond, 2500 * time.Microsecond}}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "run,rtt_us,label=mead\n1,1000.0\n2,2500.0\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestSeriesASCIIPlot(t *testing.T) {
+	s := Series{Label: "x", Values: []time.Duration{1, 1, 1, 10, 1, 1}}
+	plot := s.ASCIIPlot(6, 4)
+	if plot == "" {
+		t.Fatal("empty plot")
+	}
+	if !strings.Contains(plot, "|") {
+		t.Fatalf("plot has no bars:\n%s", plot)
+	}
+	if !strings.Contains(plot, "x (max") {
+		t.Fatalf("plot missing label line:\n%s", plot)
+	}
+}
+
+func TestSeriesASCIIPlotEmpty(t *testing.T) {
+	var s Series
+	if got := s.ASCIIPlot(10, 5); got != "" {
+		t.Fatalf("plot of empty series = %q, want empty", got)
+	}
+}

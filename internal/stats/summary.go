@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds descriptive statistics for a duration series.
+type Summary struct {
+	Count  int
+	Mean   time.Duration
+	Stddev time.Duration
+	Min    time.Duration
+	Max    time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+}
+
+// Summarize computes descriptive statistics over a series of durations.
+// A nil or empty series yields a zero Summary.
+func Summarize(series []time.Duration) Summary {
+	if len(series) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(series))
+	copy(sorted, series)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var sum float64
+	for _, d := range series {
+		sum += float64(d)
+	}
+	mean := sum / float64(len(series))
+
+	var sq float64
+	for _, d := range series {
+		diff := float64(d) - mean
+		sq += diff * diff
+	}
+	std := math.Sqrt(sq / float64(len(series)))
+
+	return Summary{
+		Count:  len(series),
+		Mean:   time.Duration(mean),
+		Stddev: time.Duration(std),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    Percentile(sorted, 0.50),
+		P95:    Percentile(sorted, 0.95),
+		P99:    Percentile(sorted, 0.99),
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 1) of an already-sorted
+// series using nearest-rank interpolation. An empty series yields zero.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// OutlierReport describes the spikes in an RTT series relative to the
+// 3-sigma band around the mean, mirroring the jitter analysis of
+// Section 5.2.5 ("we observed spikes that exceeded our average round-trip
+// times by 3-sigma. These outliers occurred between 1-2.5% of the time").
+type OutlierReport struct {
+	Count     int           // samples beyond mean + 3*sigma
+	Fraction  float64       // Count / len(series)
+	Threshold time.Duration // mean + 3*sigma
+	MaxSpike  time.Duration // largest sample in the series
+	Indices   []int         // positions of the outliers in the series
+}
+
+// Outliers computes the 3-sigma outlier report for a series.
+func Outliers(series []time.Duration) OutlierReport {
+	s := Summarize(series)
+	if s.Count == 0 {
+		return OutlierReport{}
+	}
+	threshold := s.Mean + 3*s.Stddev
+	report := OutlierReport{Threshold: threshold, MaxSpike: s.Max}
+	for i, d := range series {
+		if d > threshold {
+			report.Count++
+			report.Indices = append(report.Indices, i)
+		}
+	}
+	report.Fraction = float64(report.Count) / float64(s.Count)
+	return report
+}
