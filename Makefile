@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check vet build test bench-smoke bench
+
+## check: the full verification gate — static analysis, build, race-enabled
+## tests, and a one-iteration smoke pass over every benchmark (which also
+## exercises the alloc-reporting paths).
+check: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+## bench-smoke: run every benchmark once. Catches bit-rot in the benchmark
+## harnesses (including the alloc-guarded GIOP/CDR micro-benches and the
+## pipelined-invocation throughput benches) without the cost of a real
+## measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+## bench: a real measurement pass over the transport benchmarks used in
+## EXPERIMENTS.md (encode/parse micro-benches and serialized-vs-pipelined
+## invocation throughput).
+bench:
+	$(GO) test -run '^$$' -bench 'GIOPRequestEncode|RequestParse|Invocations' -benchtime=20000x .

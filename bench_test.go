@@ -3,11 +3,14 @@ package mead
 import (
 	"bytes"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"mead/internal/cdr"
 	"mead/internal/giop"
+	"mead/internal/orb"
 )
 
 // benchScenario is the compressed workload used by the table/figure
@@ -171,6 +174,7 @@ func BenchmarkAblation_ObjectKeyHash16(b *testing.B) {
 		table[giop.Hash16(k)] = i
 	}
 	needle := keys[37]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, ok := table[giop.Hash16(needle)]; !ok {
@@ -185,6 +189,7 @@ func BenchmarkAblation_ObjectKeyByteCompare(b *testing.B) {
 		keys[i] = giop.MakeObjectKey("timeofday", fmt.Sprintf("obj-%d", i))
 	}
 	needle := keys[37]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		found := -1
@@ -212,6 +217,7 @@ func BenchmarkAblation_RequestParse_Full(b *testing.B) {
 		Operation:        "time_of_day",
 	}, nil)
 	body := msg[giop.HeaderLen:]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := giop.DecodeRequest(cdr.BigEndian, body); err != nil {
@@ -228,6 +234,7 @@ func BenchmarkAblation_RequestParse_IDOnly(b *testing.B) {
 		Operation:        "time_of_day",
 	}, nil)
 	body := msg[giop.HeaderLen:]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := giop.RequestIDOf(cdr.BigEndian, body); err != nil {
@@ -238,6 +245,7 @@ func BenchmarkAblation_RequestParse_IDOnly(b *testing.B) {
 
 func BenchmarkAblation_RequestParse_MagicOnly(b *testing.B) {
 	msg := giop.EncodeRequest(cdr.BigEndian, giop.RequestHeader{RequestID: 42}, nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := giop.ParseHeader(msg[:giop.HeaderLen]); err != nil {
@@ -372,3 +380,87 @@ func runObjectScalingBench(b *testing.B, objects int) {
 func BenchmarkAblation_ObjectTable_1(b *testing.B)   { runObjectScalingBench(b, 1) }
 func BenchmarkAblation_ObjectTable_64(b *testing.B)  { runObjectScalingBench(b, 64) }
 func BenchmarkAblation_ObjectTable_512(b *testing.B) { runObjectScalingBench(b, 512) }
+
+// BenchmarkSerializedInvocations vs BenchmarkPipelinedInvocations measure
+// the tentpole of the multiplexed client transport: N concurrent callers
+// share one reference to one replica. On the serialized (private-connection)
+// path every invocation queues behind the reference's mutex; on the pooled
+// path the same single TCP connection carries N concurrent in-flight
+// requests demultiplexed by request id.
+func runInvocationBench(b *testing.B, callers int, pooled bool) {
+	b.Helper()
+	key := giop.MakeObjectKey("bench", "clock")
+	s := orb.NewServer()
+	s.Register(key, orb.ServantFunc(func(op string, args *cdr.Decoder, result *cdr.Encoder) error {
+		result.WriteLongLong(time.Now().UnixNano())
+		return nil
+	}))
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ior, err := s.IORFor("IDL:mead/TimeOfDay:1.0", key)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var copts []orb.ClientOption
+	if pooled {
+		copts = append(copts, orb.WithConnectionPool())
+	}
+	c := orb.NewClient(copts...)
+	defer c.Close()
+	o := c.Object(ior)
+	defer o.Close()
+
+	invoke := func() error {
+		return o.Invoke("time_of_day", nil, func(d *cdr.Decoder) error {
+			_, err := d.ReadLongLong()
+			return err
+		})
+	}
+	if err := invoke(); err != nil { // warm the connection
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				if err := invoke(); err != nil {
+					failed.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if failed.Load() != 0 {
+		b.Fatalf("%d callers failed", failed.Load())
+	}
+}
+
+func BenchmarkSerializedInvocations(b *testing.B) {
+	for _, callers := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("%d", callers), func(b *testing.B) {
+			runInvocationBench(b, callers, false)
+		})
+	}
+}
+
+func BenchmarkPipelinedInvocations(b *testing.B) {
+	for _, callers := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("%d", callers), func(b *testing.B) {
+			runInvocationBench(b, callers, true)
+		})
+	}
+}

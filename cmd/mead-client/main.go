@@ -29,6 +29,7 @@ func run(args []string) error {
 		n         = fs.Int("n", 10000, "invocations")
 		period    = fs.Duration("period", time.Millisecond, "request period")
 		csvPath   = fs.String("csv", "", "write per-invocation RTTs to this CSV file")
+		pool      = fs.Bool("pool", false, "share one multiplexed connection per replica (reactive and location-forward schemes only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -38,10 +39,11 @@ func run(args []string) error {
 		return err
 	}
 	strat, err := mead.NewClient(mead.ClientConfig{
-		Scheme:    scheme,
-		Service:   *service,
-		NamesAddr: *namesAddr,
-		HubAddr:   *hubAddr,
+		Scheme:     scheme,
+		Service:    *service,
+		NamesAddr:  *namesAddr,
+		HubAddr:    *hubAddr,
+		SharedPool: *pool,
 	})
 	if err != nil {
 		return err

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ByteOrder is the CDR byte-order flag: 0 means big-endian, 1 little-endian,
@@ -43,15 +44,54 @@ var (
 	ErrLengthOverflow = errors.New("cdr: sequence length exceeds remaining stream")
 )
 
-// Encoder builds a CDR stream. The zero value is not usable; use NewEncoder.
+// Encoder builds a CDR stream. The zero value is not usable; use NewEncoder
+// (or GetEncoder for the pooled marshalling fast path).
 type Encoder struct {
-	buf   []byte
-	order ByteOrder
+	buf    []byte
+	order  ByteOrder
+	origin int // alignment origin: offset of the current stream's first byte
+}
+
+// encoderInitialCap pre-sizes fresh encoder buffers so typical GIOP
+// messages (headers + small bodies) encode without growth reallocations.
+const encoderInitialCap = 128
+
+// maxPooledEncoderCap bounds the buffers the encoder pool retains, so one
+// huge fragmented message does not pin its buffer forever.
+const maxPooledEncoderCap = 64 << 10
+
+var encoderPool = sync.Pool{
+	New: func() any { return &Encoder{buf: make([]byte, 0, encoderInitialCap)} },
 }
 
 // NewEncoder returns an Encoder producing a stream in the given byte order.
 func NewEncoder(order ByteOrder) *Encoder {
-	return &Encoder{order: order}
+	return &Encoder{order: order, buf: make([]byte, 0, encoderInitialCap)}
+}
+
+// GetEncoder returns a pooled Encoder reset to the given byte order. The
+// marshalling hot path recycles encoder buffers through this pool; return
+// the encoder with Release once its Bytes have been consumed.
+func GetEncoder(order ByteOrder) *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset(order)
+	return e
+}
+
+// Release returns a pooled encoder for reuse. The caller must not touch e,
+// or any slice previously obtained from Bytes, after Release.
+func (e *Encoder) Release() {
+	if cap(e.buf) > maxPooledEncoderCap {
+		e.buf = make([]byte, 0, encoderInitialCap)
+	}
+	encoderPool.Put(e)
+}
+
+// Reset clears the encoder for reuse, keeping its allocated buffer.
+func (e *Encoder) Reset(order ByteOrder) {
+	e.buf = e.buf[:0]
+	e.origin = 0
+	e.order = order
 }
 
 // Bytes returns the encoded stream. The returned slice aliases the
@@ -64,11 +104,29 @@ func (e *Encoder) Len() int { return len(e.buf) }
 // Order returns the encoder's byte order.
 func (e *Encoder) Order() ByteOrder { return e.order }
 
+// Skip appends n zero bytes verbatim — space for a fixed-size prefix (e.g.
+// a GIOP message header) that the caller patches after encoding the body.
+func (e *Encoder) Skip(n int) {
+	e.buf = append(e.buf, zeroPad[:n]...)
+}
+
+// Rebase makes the current position the stream's alignment origin, starting
+// a spliced sub-stream — the encoding dual of Decoder.Rest. GIOP bodies and
+// operation arguments each begin a fresh origin this way, so single-buffer
+// message encoding pads identically to independently encoded sub-streams.
+func (e *Encoder) Rebase() {
+	e.origin = len(e.buf)
+}
+
+// zeroPad supplies alignment padding (max 8-byte alignment) and Skip
+// scratch (max one GIOP/MEAD header).
+var zeroPad [16]byte
+
 // align pads the stream with zero bytes so the next write lands on a
-// multiple of n (n must be a power of two).
+// multiple of n relative to the alignment origin (n must be a power of two).
 func (e *Encoder) align(n int) {
-	for len(e.buf)%n != 0 {
-		e.buf = append(e.buf, 0)
+	if rem := (len(e.buf) - e.origin) % n; rem != 0 {
+		e.buf = append(e.buf, zeroPad[:n-rem]...)
 	}
 }
 
@@ -157,10 +215,11 @@ func (e *Encoder) WriteOctets(b []byte) {
 // payload is its own CDR stream (starting with a byte-order octet) built by
 // fill. The inner stream uses the same byte order as the outer encoder.
 func (e *Encoder) WriteEncapsulation(fill func(*Encoder)) {
-	inner := NewEncoder(e.order)
+	inner := GetEncoder(e.order)
 	inner.WriteOctet(byte(e.order))
 	fill(inner)
 	e.WriteOctets(inner.Bytes())
+	inner.Release()
 }
 
 // Decoder consumes a CDR stream produced by Encoder (or a conforming CORBA
@@ -192,12 +251,16 @@ func (d *Decoder) Pos() int { return d.pos }
 func (d *Decoder) Order() ByteOrder { return d.order }
 
 func (d *Decoder) align(n int) error {
-	for d.pos%n != 0 {
-		if d.pos >= len(d.buf) {
-			return ErrTruncated
-		}
-		d.pos++
+	rem := d.pos % n
+	if rem == 0 {
+		return nil
 	}
+	next := d.pos + n - rem
+	if next > len(d.buf) {
+		d.pos = len(d.buf)
+		return ErrTruncated
+	}
+	d.pos = next
 	return nil
 }
 

@@ -73,6 +73,13 @@ type Config struct {
 	// MaxAttempts bounds recovery retries within one logical invocation
 	// (default 8).
 	MaxAttempts int
+	// SharedPool switches the client ORB onto the shared multiplexed
+	// transport (one connection per replica address, concurrent in-flight
+	// requests demultiplexed by request id). Supported for the reactive
+	// and LOCATION_FORWARD schemes; the interceptor-based schemes
+	// (NEEDS_ADDRESSING, MEAD) assume one in-flight request per connection
+	// and reject it.
+	SharedPool bool
 }
 
 func (c Config) group() string { return "mead." + c.Service }
@@ -92,15 +99,24 @@ func New(cfg Config) (Strategy, error) {
 		cfg:   cfg,
 		names: namesvc.NewClient(cfg.NamesAddr),
 	}
+	baseOpts := []orb.ClientOption{orb.WithDialTimeout(cfg.DialTimeout)}
+	if cfg.SharedPool {
+		switch cfg.Scheme {
+		case ftmgr.ReactiveNoCache, ftmgr.ReactiveCache, ftmgr.LocationForward:
+			baseOpts = append(baseOpts, orb.WithConnectionPool())
+		default:
+			return nil, fmt.Errorf("client: SharedPool is incompatible with scheme %v (its interceptor assumes one in-flight request per connection)", cfg.Scheme)
+		}
+	}
 	switch cfg.Scheme {
 	case ftmgr.ReactiveNoCache, ftmgr.ReactiveCache:
-		base.orb = orb.NewClient(orb.WithDialTimeout(cfg.DialTimeout))
+		base.orb = orb.NewClient(baseOpts...)
 		return &reactive{base: base, cached: cfg.Scheme == ftmgr.ReactiveCache}, nil
 	case ftmgr.LocationForward:
 		// "The main advantage of this technique is that it does not
 		// require an Interceptor at the client because the client ORB
 		// handles the retransmission through native CORBA mechanisms."
-		base.orb = orb.NewClient(orb.WithDialTimeout(cfg.DialTimeout))
+		base.orb = orb.NewClient(baseOpts...)
 		return &proactive{base: base, scheme: ftmgr.LocationForward}, nil
 	case ftmgr.MeadMessage:
 		cm, err := ftmgr.NewClientManager(ftmgr.ClientConfig{
@@ -159,10 +175,14 @@ type base struct {
 }
 
 func (b *base) Close() error {
+	var err error
 	if b.ref != nil {
-		return b.ref.Close()
+		err = b.ref.Close()
 	}
-	return nil
+	if b.orb != nil {
+		_ = b.orb.Close()
+	}
+	return err
 }
 
 // resolveAt fetches the naming listing and binds to entry idx (mod len).

@@ -110,7 +110,7 @@ func readAssembled(r io.Reader, raws *[][]byte) (Header, []byte, error) {
 		if fh.Type != MsgFragment {
 			return Header{}, nil, fmt.Errorf("giop: expected Fragment, got %v", fh.Type)
 		}
-		if len(body)+len(fbody) > MaxMessageSize {
+		if len(body)+len(fbody) > MaxMessageSize() {
 			return Header{}, nil, fmt.Errorf("%w: reassembled message", ErrTooLarge)
 		}
 		if raws != nil {

@@ -41,10 +41,10 @@ type LocateRequestHeader struct {
 
 // EncodeLocateRequest renders a complete LocateRequest message.
 func EncodeLocateRequest(order cdr.ByteOrder, hdr LocateRequestHeader) []byte {
-	e := cdr.NewEncoder(order)
+	e := beginMessage(order)
 	e.WriteULong(hdr.RequestID)
 	e.WriteOctets(hdr.ObjectKey)
-	return EncodeMessage(order, MsgLocateRequest, e.Bytes())
+	return finishMessage(e, order, MsgLocateRequest)
 }
 
 // DecodeLocateRequest parses a LocateRequest body.
@@ -70,15 +70,14 @@ type LocateReplyHeader struct {
 // EncodeLocateReply renders a complete LocateReply message; forward, if
 // non-nil, is appended for OBJECT_FORWARD.
 func EncodeLocateReply(order cdr.ByteOrder, hdr LocateReplyHeader, forward *IOR) []byte {
-	e := cdr.NewEncoder(order)
+	e := beginMessage(order)
 	e.WriteULong(hdr.RequestID)
 	e.WriteULong(uint32(hdr.Status))
 	if hdr.Status == LocateObjectForward && forward != nil {
-		body := cdr.NewEncoder(order)
-		EncodeIOR(body, *forward)
-		e.WriteRaw(body.Bytes())
+		e.Rebase() // the forwarded IOR forms its own alignment origin
+		EncodeIOR(e, *forward)
 	}
-	return EncodeMessage(order, MsgLocateReply, e.Bytes())
+	return finishMessage(e, order, MsgLocateReply)
 }
 
 // DecodeLocateReply parses a LocateReply body, returning the forwarded IOR

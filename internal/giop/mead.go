@@ -75,7 +75,7 @@ func ParseMeadHeader(b []byte) (MeadType, uint32, error) {
 		return 0, 0, fmt.Errorf("%w: unsupported version %d", ErrBadMeadFrame, b[4])
 	}
 	n := uint32(b[8])<<24 | uint32(b[9])<<16 | uint32(b[10])<<8 | uint32(b[11])
-	if n > MaxMessageSize {
+	if int64(n) > int64(MaxMessageSize()) {
 		return 0, 0, fmt.Errorf("%w: %d-byte payload", ErrTooLarge, n)
 	}
 	return MeadType(b[5]), n, nil
@@ -179,7 +179,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 			if fh.Type != MsgFragment {
 				return Frame{}, fmt.Errorf("giop: expected Fragment, got %v", fh.Type)
 			}
-			if len(body)+len(fbody) > MaxMessageSize {
+			if len(body)+len(fbody) > MaxMessageSize() {
 				return Frame{}, fmt.Errorf("%w: reassembled frame", ErrTooLarge)
 			}
 			raws = append(raws, rawFrame(fh, fbody))

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"mead/internal/cdr"
 )
@@ -26,13 +27,32 @@ const (
 	Magic = "GIOP"
 	// HeaderLen is the fixed GIOP message header length.
 	HeaderLen = 12
-	// MaxMessageSize bounds accepted message bodies to guard against
-	// corrupt or hostile streams.
-	MaxMessageSize = 16 << 20
+	// DefaultMaxMessageSize is the default bound on accepted message and
+	// frame bodies, guarding against corrupt or hostile length prefixes.
+	DefaultMaxMessageSize = 16 << 20
 	// VersionMajor and VersionMinor identify the GIOP framing in use.
 	VersionMajor = 1
 	VersionMinor = 0
 )
+
+var maxMessageSize atomic.Int64
+
+func init() { maxMessageSize.Store(DefaultMaxMessageSize) }
+
+// MaxMessageSize returns the current bound on message/frame body sizes.
+// Every frame reader (GIOP headers, MEAD headers, fragment reassembly)
+// checks a length prefix against it before allocating.
+func MaxMessageSize() int { return int(maxMessageSize.Load()) }
+
+// SetMaxMessageSize reconfigures the body-size bound (process-wide) and
+// returns the previous value. Values below HeaderLen are clamped to
+// HeaderLen; use DefaultMaxMessageSize to restore the default.
+func SetMaxMessageSize(n int) int {
+	if n < HeaderLen {
+		n = HeaderLen
+	}
+	return int(maxMessageSize.Swap(int64(n)))
+}
 
 // MsgType identifies a GIOP message kind.
 type MsgType uint8
@@ -95,6 +115,12 @@ type Header struct {
 // EncodeHeader renders the 12-byte wire form of h.
 func EncodeHeader(h Header) []byte {
 	b := make([]byte, HeaderLen)
+	putHeader(b, h)
+	return b
+}
+
+// putHeader writes the 12-byte wire form of h into b (len(b) >= HeaderLen).
+func putHeader(b []byte, h Header) {
 	copy(b, Magic)
 	b[4] = h.Major
 	b[5] = h.Minor
@@ -114,7 +140,6 @@ func EncodeHeader(h Header) []byte {
 		b[10] = byte(h.Size >> 8)
 		b[11] = byte(h.Size)
 	}
-	return b
 }
 
 // ParseHeader decodes a 12-byte GIOP header.
@@ -140,7 +165,7 @@ func ParseHeader(b []byte) (Header, error) {
 	} else {
 		h.Size = uint32(b[8])<<24 | uint32(b[9])<<16 | uint32(b[10])<<8 | uint32(b[11])
 	}
-	if h.Size > MaxMessageSize {
+	if int64(h.Size) > int64(MaxMessageSize()) {
 		return Header{}, fmt.Errorf("%w: %d bytes", ErrTooLarge, h.Size)
 	}
 	return h, nil
@@ -150,9 +175,35 @@ func ParseHeader(b []byte) (Header, error) {
 // given type, in the given byte order.
 func EncodeMessage(order cdr.ByteOrder, t MsgType, body []byte) []byte {
 	h := Header{Major: VersionMajor, Minor: VersionMinor, Order: order, Type: t, Size: uint32(len(body))}
-	out := make([]byte, 0, HeaderLen+len(body))
-	out = append(out, EncodeHeader(h)...)
-	out = append(out, body...)
+	out := make([]byte, HeaderLen+len(body))
+	putHeader(out, h)
+	copy(out[HeaderLen:], body)
+	return out
+}
+
+// beginMessage starts the single-buffer encoding fast path: a pooled
+// encoder primed with a placeholder GIOP header, rebased so the body that
+// follows forms its own CDR alignment origin (the splice convention both
+// peers use). Finish with finishMessage.
+func beginMessage(order cdr.ByteOrder) *cdr.Encoder {
+	e := cdr.GetEncoder(order)
+	e.Skip(HeaderLen)
+	e.Rebase()
+	return e
+}
+
+// finishMessage patches the GIOP header over the placeholder, copies the
+// completed message into an exactly sized buffer (the encode path's single
+// allocation), and releases the pooled encoder.
+func finishMessage(e *cdr.Encoder, order cdr.ByteOrder, t MsgType) []byte {
+	buf := e.Bytes()
+	putHeader(buf, Header{
+		Major: VersionMajor, Minor: VersionMinor,
+		Order: order, Type: t, Size: uint32(len(buf) - HeaderLen),
+	})
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	e.Release()
 	return out
 }
 

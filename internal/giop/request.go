@@ -97,7 +97,7 @@ type RequestHeader struct {
 // alignment origin (see Decoder.Rest), so both peers agree on padding
 // regardless of the header's length.
 func EncodeRequest(order cdr.ByteOrder, hdr RequestHeader, writeArgs func(*cdr.Encoder)) []byte {
-	e := cdr.NewEncoder(order)
+	e := beginMessage(order)
 	encodeServiceContexts(e, hdr.ServiceContexts)
 	e.WriteULong(hdr.RequestID)
 	e.WriteBool(hdr.ResponseExpected)
@@ -105,11 +105,10 @@ func EncodeRequest(order cdr.ByteOrder, hdr RequestHeader, writeArgs func(*cdr.E
 	e.WriteString(hdr.Operation)
 	e.WriteOctets(hdr.Principal)
 	if writeArgs != nil {
-		args := cdr.NewEncoder(order)
-		writeArgs(args)
-		e.WriteRaw(args.Bytes())
+		e.Rebase() // arguments form their own alignment origin
+		writeArgs(e)
 	}
-	return EncodeMessage(order, MsgRequest, e.Bytes())
+	return finishMessage(e, order, MsgRequest)
 }
 
 // DecodeRequest parses a Request body (as returned by ReadMessage), yielding
@@ -155,6 +154,21 @@ func RequestIDOf(order cdr.ByteOrder, body []byte) (uint32, error) {
 	return id, nil
 }
 
+// ReplyIDOf extracts just the request_id from a Reply body — the minimal
+// parse the multiplexed client transport performs to demultiplex
+// interleaved replies to their waiting callers.
+func ReplyIDOf(order cdr.ByteOrder, body []byte) (uint32, error) {
+	d := cdr.NewDecoder(body, order)
+	if _, err := decodeServiceContexts(d); err != nil {
+		return 0, err
+	}
+	id, err := d.ReadULong()
+	if err != nil {
+		return 0, fmt.Errorf("giop: reply request id: %w", err)
+	}
+	return id, nil
+}
+
 // ReplyHeader is the GIOP Reply message header.
 type ReplyHeader struct {
 	ServiceContexts []ServiceContext
@@ -166,16 +180,15 @@ type ReplyHeader struct {
 // encodes the status-specific body (result values, exception, or forwarded
 // IOR); it forms its own CDR alignment origin, mirroring EncodeRequest.
 func EncodeReply(order cdr.ByteOrder, hdr ReplyHeader, writeBody func(*cdr.Encoder)) []byte {
-	e := cdr.NewEncoder(order)
+	e := beginMessage(order)
 	encodeServiceContexts(e, hdr.ServiceContexts)
 	e.WriteULong(hdr.RequestID)
 	e.WriteULong(uint32(hdr.Status))
 	if writeBody != nil {
-		body := cdr.NewEncoder(order)
-		writeBody(body)
-		e.WriteRaw(body.Bytes())
+		e.Rebase() // the status-specific body forms its own alignment origin
+		writeBody(e)
 	}
-	return EncodeMessage(order, MsgReply, e.Bytes())
+	return finishMessage(e, order, MsgReply)
 }
 
 // DecodeReply parses a Reply body, yielding the header and a decoder

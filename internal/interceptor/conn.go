@@ -23,7 +23,9 @@
 package interceptor
 
 import (
+	"bufio"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -54,6 +56,11 @@ type Hooks struct {
 // ErrIntercepted reports a hook-initiated failure.
 var ErrIntercepted = errors.New("interceptor: hook failed the operation")
 
+// srcBufSize sizes the buffered reader over the transport; one buffer fill
+// typically captures several small GIOP frames, collapsing the
+// header-then-body read pairs into a single syscall.
+const srcBufSize = 4096
+
 // Conn is the frame-aware interposing connection. It implements net.Conn.
 type Conn struct {
 	hooks Hooks
@@ -64,6 +71,15 @@ type Conn struct {
 
 	readBuf  []byte // filtered bytes awaiting delivery to the ORB
 	writeBuf []byte // partial outbound frame accumulation
+
+	// src buffers reads from the transport. It is owned exclusively by the
+	// Read goroutine (SwapUnder only swaps `under`); when that goroutine
+	// notices the transport changed it moves any read-ahead into carry —
+	// those bytes were already delivered by the old replica — and rebuilds
+	// src over the new transport.
+	src     *bufio.Reader
+	srcConn net.Conn // transport src currently wraps
+	carry   []byte   // read-ahead preserved across SwapUnder
 }
 
 var _ net.Conn = (*Conn)(nil)
@@ -111,6 +127,38 @@ func (c *Conn) isClosed() bool {
 	return c.closed
 }
 
+// srcReader adapts the Conn's buffered, swap-aware inbound byte source to
+// io.Reader for the frame reader. Only the Read goroutine uses it.
+type srcReader struct{ c *Conn }
+
+func (r srcReader) Read(p []byte) (int, error) {
+	c := r.c
+	if len(c.carry) > 0 {
+		n := copy(p, c.carry)
+		c.carry = c.carry[n:]
+		return n, nil
+	}
+	under := c.Under()
+	if c.src == nil || c.srcConn != under {
+		// Transport swapped underneath us (or first read). Preserve any
+		// read-ahead from the old replica before rebuilding the buffer.
+		if c.src != nil {
+			if n := c.src.Buffered(); n > 0 {
+				peeked, _ := c.src.Peek(n)
+				c.carry = append(c.carry, peeked...)
+			}
+		}
+		c.src = bufio.NewReaderSize(under, srcBufSize)
+		c.srcConn = under
+		if len(c.carry) > 0 {
+			n := copy(p, c.carry)
+			c.carry = c.carry[n:]
+			return n, nil
+		}
+	}
+	return c.src.Read(p)
+}
+
 // Read returns filtered stream bytes. It reads whole frames from the
 // underlying transport, passes each through OnReadFrame, and serves the
 // results; the ORB on top performs its usual header-then-body reads and
@@ -120,7 +168,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		if c.isClosed() {
 			return 0, net.ErrClosed
 		}
-		f, err := giop.ReadFrame(c.Under())
+		f, err := giop.ReadFrame(srcReader{c})
 		if err != nil {
 			if c.isClosed() {
 				return 0, err
@@ -150,19 +198,30 @@ func (c *Conn) Read(p []byte) (int, error) {
 // Write accumulates outbound bytes until whole frames are available, passes
 // each frame through OnWriteFrame, and writes the (possibly rewritten)
 // result to the wire.
+//
+// A corrupt or oversized frame header fails the Write with the underlying
+// typed error (ErrBadMagic, ErrBadVersion, giop.ErrTooLarge) instead of
+// accumulating bytes forever waiting for a frame that can never complete:
+// with valid headers the buffer is bounded by one maximum-size frame.
 func (c *Conn) Write(p []byte) (int, error) {
 	c.writeBuf = append(c.writeBuf, p...)
 	for {
-		frameLen, ok := peekFrameLen(c.writeBuf)
-		if !ok {
+		frameLen, err := peekFrameLen(c.writeBuf)
+		if err != nil {
+			c.writeBuf = c.writeBuf[:0]
+			return 0, fmt.Errorf("interceptor: outbound stream corrupt: %w", err)
+		}
+		if frameLen == 0 {
 			return len(p), nil // wait for the rest of the frame
 		}
-		raw := make([]byte, frameLen)
-		copy(raw, c.writeBuf[:frameLen])
-		c.writeBuf = c.writeBuf[frameLen:]
+		// The frame is parsed in place (capacity-capped so hook-side appends
+		// cannot scribble on the remainder); hooks must not retain f.Raw
+		// past their return — the buffer is reclaimed below.
+		raw := c.writeBuf[:frameLen:frameLen]
 
 		f, err := parseFrame(raw)
 		if err != nil {
+			c.writeBuf = c.writeBuf[:0]
 			return 0, err
 		}
 		out := raw
@@ -172,12 +231,15 @@ func (c *Conn) Write(p []byte) (int, error) {
 				return 0, err
 			}
 		}
-		if len(out) == 0 {
-			continue
+		if len(out) != 0 {
+			if _, err := c.Under().Write(out); err != nil {
+				return 0, err
+			}
 		}
-		if _, err := c.Under().Write(out); err != nil {
-			return 0, err
-		}
+		// Reclaim the processed frame: slide the remainder to the front so
+		// the buffer never drifts through (and pins) its backing array.
+		n := copy(c.writeBuf, c.writeBuf[frameLen:])
+		c.writeBuf = c.writeBuf[:n]
 	}
 }
 
@@ -212,35 +274,37 @@ func isStreamEnd(err error) bool {
 	return errors.As(err, &oe)
 }
 
-// peekFrameLen reports the total length of the frame at the head of buf,
-// if a complete header is present.
-func peekFrameLen(buf []byte) (int, bool) {
+// peekFrameLen reports the total length of the frame at the head of buf.
+// (0, nil) means the frame is incomplete — wait for more bytes. A non-nil
+// error means the head of the stream can never become a valid frame
+// (bad magic/version, or a length prefix over giop.MaxMessageSize).
+func peekFrameLen(buf []byte) (int, error) {
 	if len(buf) < giop.HeaderLen {
-		return 0, false
+		return 0, nil
 	}
 	switch string(buf[:4]) {
 	case giop.Magic:
 		h, err := giop.ParseHeader(buf[:giop.HeaderLen])
 		if err != nil {
-			return 0, false
+			return 0, err
 		}
 		total := giop.HeaderLen + int(h.Size)
 		if len(buf) < total {
-			return 0, false
+			return 0, nil
 		}
-		return total, true
+		return total, nil
 	case giop.MeadMagic:
 		_, n, err := giop.ParseMeadHeader(buf[:giop.MeadHeaderLen])
 		if err != nil {
-			return 0, false
+			return 0, err
 		}
 		total := giop.MeadHeaderLen + int(n)
 		if len(buf) < total {
-			return 0, false
+			return 0, nil
 		}
-		return total, true
+		return total, nil
 	default:
-		return 0, false
+		return 0, fmt.Errorf("%w: % x", giop.ErrBadMagic, buf[:4])
 	}
 }
 

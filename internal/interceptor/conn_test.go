@@ -334,21 +334,21 @@ func TestAddrsAndDeadlines(t *testing.T) {
 
 func TestPeekFrameLen(t *testing.T) {
 	req := requestFrame(1, "x")
-	if n, ok := peekFrameLen(req); !ok || n != len(req) {
-		t.Fatalf("peek GIOP = %d,%v", n, ok)
+	if n, err := peekFrameLen(req); err != nil || n != len(req) {
+		t.Fatalf("peek GIOP = %d,%v", n, err)
 	}
-	if _, ok := peekFrameLen(req[:8]); ok {
-		t.Fatal("short header peeked")
+	if n, err := peekFrameLen(req[:8]); err != nil || n != 0 {
+		t.Fatalf("short header: got %d,%v, want incomplete", n, err)
 	}
-	if _, ok := peekFrameLen(req[:len(req)-1]); ok {
-		t.Fatal("incomplete frame peeked")
+	if n, err := peekFrameLen(req[:len(req)-1]); err != nil || n != 0 {
+		t.Fatalf("incomplete frame: got %d,%v, want incomplete", n, err)
 	}
 	mead := giop.EncodeMead(giop.MeadNotice, []byte{1})
-	if n, ok := peekFrameLen(mead); !ok || n != len(mead) {
-		t.Fatalf("peek MEAD = %d,%v", n, ok)
+	if n, err := peekFrameLen(mead); err != nil || n != len(mead) {
+		t.Fatalf("peek MEAD = %d,%v", n, err)
 	}
-	if _, ok := peekFrameLen([]byte("XXXXXXXXXXXXXXXX")); ok {
-		t.Fatal("junk peeked")
+	if _, err := peekFrameLen([]byte("XXXXXXXXXXXXXXXX")); !errors.Is(err, giop.ErrBadMagic) {
+		t.Fatalf("junk: err = %v, want ErrBadMagic", err)
 	}
 }
 
@@ -398,5 +398,63 @@ func TestPropertyPassThroughPreservesStream(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWriteRejectsCorruptMagic: bytes that can never frame must fail the
+// Write with a typed error instead of accumulating forever.
+func TestWriteRejectsCorruptMagic(t *testing.T) {
+	cEnd, _ := tcpPair(t)
+	ic := New(cEnd, Hooks{})
+	junk := make([]byte, 64)
+	for i := range junk {
+		junk[i] = 'X'
+	}
+	if _, err := ic.Write(junk); !errors.Is(err, giop.ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if len(ic.writeBuf) != 0 {
+		t.Fatalf("writeBuf retained %d bytes after corrupt stream", len(ic.writeBuf))
+	}
+}
+
+// TestWriteRejectsOversizedFrame: a hostile length prefix beyond
+// giop.MaxMessageSize errors out instead of waiting for (and buffering
+// toward) a frame that would exhaust memory.
+func TestWriteRejectsOversizedFrame(t *testing.T) {
+	old := giop.SetMaxMessageSize(1 << 10)
+	defer giop.SetMaxMessageSize(old)
+
+	cEnd, _ := tcpPair(t)
+	ic := New(cEnd, Hooks{})
+	hdr := giop.EncodeHeader(giop.Header{
+		Major: giop.VersionMajor, Minor: giop.VersionMinor,
+		Type: giop.MsgRequest, Size: 1 << 20,
+	})
+	if _, err := ic.Write(hdr); !errors.Is(err, giop.ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if len(ic.writeBuf) != 0 {
+		t.Fatalf("writeBuf retained %d bytes after oversized frame", len(ic.writeBuf))
+	}
+}
+
+// TestWriteBufReclaimedAfterFrames: the accumulation buffer must not grow
+// without bound across many complete frames.
+func TestWriteBufReclaimedAfterFrames(t *testing.T) {
+	cEnd, sEnd := tcpPair(t)
+	ic := New(cEnd, Hooks{})
+	go io.Copy(io.Discard, sEnd)
+	frame := requestFrame(1, "op")
+	for i := 0; i < 200; i++ {
+		if _, err := ic.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ic.writeBuf) != 0 {
+		t.Fatalf("writeBuf holds %d bytes after whole frames", len(ic.writeBuf))
+	}
+	if cap(ic.writeBuf) > 4*len(frame) {
+		t.Fatalf("writeBuf capacity drifted to %d", cap(ic.writeBuf))
 	}
 }

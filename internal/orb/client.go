@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -45,6 +46,19 @@ func WithClientMaxBodyBytes(n int) ClientOption {
 	return clientOptionFunc(func(c *ClientORB) { c.maxBody = n })
 }
 
+// WithConnectionPool switches every ObjectRef of this ORB onto a shared
+// multiplexed transport: one connection per IIOP host:port, with concurrent
+// in-flight requests demultiplexed by request id. Invocations on one
+// ObjectRef are then no longer serialized against each other.
+//
+// The pooled transport is incompatible with client-side interceptor schemes
+// that assume a single in-flight request per connection (NEEDS_ADDRESSING's
+// fabricated replies, the MEAD piggyback swap); callers wire it up only for
+// schemes without that assumption.
+func WithConnectionPool() ClientOption {
+	return clientOptionFunc(func(c *ClientORB) { c.pool = newConnPool(c) })
+}
+
 // ClientORB is the client-side ORB.
 type ClientORB struct {
 	order       cdr.ByteOrder
@@ -52,6 +66,7 @@ type ClientORB struct {
 	dialTimeout time.Duration
 	maxForwards int
 	maxBody     int
+	pool        *connPool // nil unless WithConnectionPool
 }
 
 // NewClient returns a client ORB.
@@ -67,6 +82,26 @@ func NewClient(opts ...ClientOption) *ClientORB {
 	return c
 }
 
+// Close releases the ORB's shared resources (the connection pool, when
+// enabled); in-flight pooled invocations observe COMM_FAILURE. References
+// with private connections are closed individually via ObjectRef.Close.
+func (c *ClientORB) Close() error {
+	if c.pool != nil {
+		c.pool.close()
+	}
+	return nil
+}
+
+// PooledConnections reports how many shared connections are currently live
+// (0 when pooling is disabled). Diagnostics and tests use it to assert that
+// many references share one transport.
+func (c *ClientORB) PooledConnections() int {
+	if c.pool == nil {
+		return 0
+	}
+	return c.pool.activeConns()
+}
+
 // Stats counts the transparent recovery actions a reference performed;
 // the experiment harness reads them to report retransmission overheads.
 type Stats struct {
@@ -76,14 +111,17 @@ type Stats struct {
 }
 
 // ObjectRef is a client-side reference to a (possibly replicated) CORBA
-// object. Invocations on one ObjectRef are serialized, as with a
-// single-threaded CORBA client.
+// object. With the default private connection, invocations on one ObjectRef
+// are serialized, as with a single-threaded CORBA client; on an ORB built
+// WithConnectionPool they proceed concurrently over the shared multiplexed
+// transport.
 type ObjectRef struct {
 	orb *ClientORB
 
 	mu     sync.Mutex
 	ior    giop.IOR
 	conn   net.Conn
+	rd     *bufio.Reader // buffers reads from conn
 	nextID uint32
 	stats  Stats
 }
@@ -129,6 +167,7 @@ func (o *ObjectRef) dropConnLocked() {
 	if o.conn != nil {
 		_ = o.conn.Close()
 		o.conn = nil
+		o.rd = nil
 	}
 }
 
@@ -151,6 +190,7 @@ func (o *ObjectRef) connectLocked() error {
 		conn = o.orb.wrap(conn)
 	}
 	o.conn = conn
+	o.rd = bufio.NewReaderSize(conn, connReadBufSize)
 	return nil
 }
 
@@ -159,6 +199,9 @@ func (o *ObjectRef) connectLocked() error {
 // the GIOP specification. Both retransmission paths are exactly the
 // mechanics the paper's proactive schemes trigger.
 func (o *ObjectRef) Invoke(op string, writeArgs func(*cdr.Encoder), readResult func(*cdr.Decoder) error) error {
+	if o.orb.pool != nil {
+		return o.invokePooled(op, writeArgs, readResult)
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.stats.Invocations++
@@ -250,6 +293,9 @@ func (o *ObjectRef) Invoke(op string, writeArgs func(*cdr.Encoder), readResult f
 // InvokeOneWay sends a request without expecting a reply (a CORBA oneway
 // operation). Delivery is best-effort, as the standard specifies.
 func (o *ObjectRef) InvokeOneWay(op string, writeArgs func(*cdr.Encoder)) error {
+	if o.orb.pool != nil {
+		return o.oneWayPooled(op, writeArgs)
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.stats.Invocations++
@@ -279,6 +325,9 @@ func (o *ObjectRef) InvokeOneWay(op string, writeArgs func(*cdr.Encoder)) error 
 // OBJECT_FORWARD answer retargets the reference, mirroring the ORB's
 // LOCATION_FORWARD handling.
 func (o *ObjectRef) Locate() (giop.LocateStatus, error) {
+	if o.orb.pool != nil {
+		return o.locatePooled()
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if err := o.connectLocked(); err != nil {
@@ -298,7 +347,7 @@ func (o *ObjectRef) Locate() (giop.LocateStatus, error) {
 		o.dropConnLocked()
 		return 0, giop.CommFailure(15, giop.CompletedMaybe)
 	}
-	h, body, err := giop.ReadMessage(o.conn)
+	h, body, err := giop.ReadMessage(o.rd)
 	if err != nil {
 		o.dropConnLocked()
 		return 0, giop.CommFailure(16, giop.CompletedMaybe)
@@ -325,7 +374,7 @@ func (o *ObjectRef) Locate() (giop.LocateStatus, error) {
 // "about 1.8 ms to register at the client" in the paper's reactive runs.
 func (o *ObjectRef) readReplyLocked(reqID uint32) (giop.Header, []byte, error) {
 	for {
-		h, body, err := giop.ReadMessage(o.conn)
+		h, body, err := giop.ReadMessage(o.rd)
 		if err != nil {
 			return giop.Header{}, nil, giop.CommFailure(12, giop.CompletedMaybe)
 		}

@@ -1,0 +1,427 @@
+package orb
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mead/internal/cdr"
+	"mead/internal/giop"
+)
+
+// ErrClientClosed reports use of a closed client ORB's connection pool.
+var ErrClientClosed = errors.New("orb: client closed")
+
+// connPool shares multiplexed connections between every ObjectRef of one
+// ClientORB, keyed by IIOP "host:port". GIOP permits any number of
+// outstanding requests per connection — replies carry the request id and may
+// arrive in any order — so one TCP connection per replica suffices for an
+// arbitrary number of concurrent invocations.
+type connPool struct {
+	orb *ClientORB
+
+	mu     sync.Mutex
+	conns  map[string]*muxConn
+	closed bool
+}
+
+func newConnPool(orb *ClientORB) *connPool {
+	return &connPool{orb: orb, conns: make(map[string]*muxConn)}
+}
+
+// get returns the live multiplexed connection to addr, dialing one if
+// needed. Concurrent callers for the same address share a single dial.
+func (p *connPool) get(addr string) (*muxConn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	mc := p.conns[addr]
+	if mc == nil {
+		mc = &muxConn{pool: p, addr: addr, pending: make(map[uint32]chan muxReply), nextID: 1}
+		p.conns[addr] = mc
+	}
+	p.mu.Unlock()
+
+	mc.dialOnce.Do(mc.dial)
+	if mc.dialErr != nil {
+		p.remove(mc)
+		return nil, mc.dialErr
+	}
+	return mc, nil
+}
+
+// remove unregisters mc so the next get() for its address redials.
+func (p *connPool) remove(mc *muxConn) {
+	p.mu.Lock()
+	if p.conns[mc.addr] == mc {
+		delete(p.conns, mc.addr)
+	}
+	p.mu.Unlock()
+}
+
+// close tears down every pooled connection; in-flight requests observe
+// COMM_FAILURE.
+func (p *connPool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conns := make([]*muxConn, 0, len(p.conns))
+	for _, mc := range p.conns {
+		conns = append(conns, mc)
+	}
+	p.mu.Unlock()
+	for _, mc := range conns {
+		mc.fail(giop.CommFailure(17, giop.CompletedMaybe))
+	}
+}
+
+// activeConns reports how many pooled connections are currently live
+// (test/diagnostic hook).
+func (p *connPool) activeConns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// muxReply is one demultiplexed answer (Reply or LocateReply) delivered to
+// the caller that issued the matching request id.
+type muxReply struct {
+	hdr  giop.Header
+	body []byte
+	err  error
+}
+
+// muxConn is one shared connection with a demultiplexing reader goroutine.
+// Writes are serialized by writeMu (each request's frames must stay
+// contiguous); reads happen only on the readLoop goroutine, which routes
+// each reply to the pending channel registered under its request id. This
+// split keeps the interceptor Conn's read-side and write-side state each on
+// a single goroutine.
+type muxConn struct {
+	pool *connPool
+	addr string
+
+	dialOnce sync.Once
+	dialErr  error
+	conn     net.Conn
+	cw       *connWriter // serializes and batches frame writes
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan muxReply
+	closed  bool
+	err     error // terminal error delivered to late arrivals
+}
+
+// dial establishes the transport (with the ORB's interceptor wrapper, as on
+// the private-connection path) and starts the demultiplexing reader.
+// Connection refusal maps to TRANSIENT: the pooled address may be stale (the
+// paper's cached-reference failure mode).
+func (m *muxConn) dial() {
+	conn, err := net.DialTimeout("tcp", m.addr, m.pool.orb.dialTimeout)
+	if err != nil {
+		m.dialErr = giop.Transient(2, giop.CompletedNo)
+		return
+	}
+	if m.pool.orb.wrap != nil {
+		conn = m.pool.orb.wrap(conn)
+	}
+	m.conn = conn
+	m.cw = newConnWriter(conn)
+	go m.readLoop()
+}
+
+// roundTrip allocates a request id, renders the message via build, writes
+// it, and blocks until the demultiplexer delivers the matching reply or the
+// connection dies. Any number of callers may be in roundTrip concurrently.
+func (m *muxConn) roundTrip(build func(reqID uint32) []byte) (giop.Header, []byte, error) {
+	m.mu.Lock()
+	if m.closed {
+		err := m.err
+		m.mu.Unlock()
+		return giop.Header{}, nil, err
+	}
+	id := m.nextID
+	m.nextID++
+	ch := make(chan muxReply, 1)
+	m.pending[id] = ch
+	m.mu.Unlock()
+
+	msg := build(id)
+	if err := m.write(msg); err != nil {
+		// fail() settles every pending request, including ours.
+		m.fail(giop.CommFailure(10, giop.CompletedMaybe))
+	}
+	r := <-ch
+	return r.hdr, r.body, r.err
+}
+
+// send writes a request that expects no reply (oneway). The id is still
+// allocated from the shared counter so it cannot collide with two-way
+// requests in flight.
+func (m *muxConn) send(build func(reqID uint32) []byte) error {
+	m.mu.Lock()
+	if m.closed {
+		err := m.err
+		m.mu.Unlock()
+		return err
+	}
+	id := m.nextID
+	m.nextID++
+	m.mu.Unlock()
+
+	msg := build(id)
+	if err := m.write(msg); err != nil {
+		m.fail(giop.CommFailure(14, giop.CompletedMaybe))
+		return giop.CommFailure(14, giop.CompletedMaybe)
+	}
+	return nil
+}
+
+func (m *muxConn) write(msg []byte) error {
+	return m.cw.writeMessage(msg, m.pool.orb.maxBody)
+}
+
+// readLoop is the per-connection demultiplexer: it reads logical GIOP
+// messages (reassembling fragments) and routes Reply/LocateReply messages to
+// the caller that issued the request id. Any stream-level failure settles
+// every in-flight request with COMM_FAILURE — the reactive schemes' recovery
+// logic then takes over, exactly as on the serialized path.
+func (m *muxConn) readLoop() {
+	rd := bufio.NewReaderSize(m.conn, connReadBufSize)
+	for {
+		h, body, err := giop.ReadMessage(rd)
+		if err != nil {
+			m.fail(giop.CommFailure(12, giop.CompletedMaybe))
+			return
+		}
+		switch h.Type {
+		case giop.MsgReply:
+			id, err := giop.ReplyIDOf(h.Order, body)
+			if err != nil {
+				m.fail(&giop.SystemException{RepoID: giop.RepoInternal, Minor: 20, Completed: giop.CompletedMaybe})
+				return
+			}
+			m.deliver(id, muxReply{hdr: h, body: body})
+		case giop.MsgLocateReply:
+			d := cdr.NewDecoder(body, h.Order)
+			id, err := d.ReadULong()
+			if err != nil {
+				m.fail(&giop.SystemException{RepoID: giop.RepoInternal, Minor: 20, Completed: giop.CompletedMaybe})
+				return
+			}
+			m.deliver(id, muxReply{hdr: h, body: body})
+		case giop.MsgCloseConnection:
+			m.fail(giop.CommFailure(13, giop.CompletedNo))
+			return
+		default:
+			// MessageError (or anything else) means the peer rejected our
+			// stream; nothing sensible can follow.
+			m.fail(&giop.SystemException{RepoID: giop.RepoInternal, Minor: 22, Completed: giop.CompletedMaybe})
+			return
+		}
+	}
+}
+
+// deliver hands the reply to the waiting caller, if any. Replies to unknown
+// ids (e.g. a request that already failed) are dropped.
+func (m *muxConn) deliver(id uint32, r muxReply) {
+	m.mu.Lock()
+	ch := m.pending[id]
+	delete(m.pending, id)
+	m.mu.Unlock()
+	if ch != nil {
+		ch <- r
+	}
+}
+
+// invokePooled is Invoke over the shared multiplexed transport. It holds no
+// lock across the network round trip, so any number of goroutines may invoke
+// through the same ObjectRef concurrently. The LOCATION_FORWARD /
+// NEEDS_ADDRESSING_MODE retransmission loop mirrors the serialized path,
+// except a redirect retargets only this reference's IOR — the shared
+// connection stays up for other references still using it.
+func (o *ObjectRef) invokePooled(op string, writeArgs func(*cdr.Encoder), readResult func(*cdr.Decoder) error) error {
+	o.mu.Lock()
+	o.stats.Invocations++
+	ior := o.ior
+	o.mu.Unlock()
+
+	for attempt := 0; attempt <= o.orb.maxForwards; attempt++ {
+		addr, err := ior.Addr()
+		if err != nil {
+			return giop.Transient(1, giop.CompletedNo)
+		}
+		prof, err := ior.IIOP()
+		if err != nil {
+			return fmt.Errorf("orb: reference has no IIOP profile: %w", err)
+		}
+		mc, err := o.orb.pool.get(addr)
+		if err != nil {
+			return err
+		}
+		hdr, body, err := mc.roundTrip(func(reqID uint32) []byte {
+			return giop.EncodeRequest(o.orb.order, giop.RequestHeader{
+				RequestID:        reqID,
+				ResponseExpected: true,
+				ObjectKey:        prof.ObjectKey,
+				Operation:        op,
+			}, writeArgs)
+		})
+		if err != nil {
+			return err
+		}
+		if hdr.Type != giop.MsgReply {
+			return &giop.SystemException{RepoID: giop.RepoInternal, Minor: 22, Completed: giop.CompletedMaybe}
+		}
+		rh, d, err := giop.DecodeReply(hdr.Order, body)
+		if err != nil {
+			return fmt.Errorf("orb: corrupt reply: %w", err)
+		}
+
+		switch rh.Status {
+		case giop.ReplyNoException:
+			if readResult != nil {
+				if err := readResult(d); err != nil {
+					return fmt.Errorf("orb: decode result of %q: %w", op, err)
+				}
+			}
+			return nil
+		case giop.ReplyUserException:
+			repo, err := d.ReadString()
+			if err != nil {
+				return fmt.Errorf("orb: corrupt user exception: %w", err)
+			}
+			return &UserException{RepoID: repo}
+		case giop.ReplySystemException:
+			se, err := giop.DecodeSystemException(d)
+			if err != nil {
+				return fmt.Errorf("orb: corrupt system exception: %w", err)
+			}
+			return se
+		case giop.ReplyLocationForward, giop.ReplyLocationForwardPerm:
+			fwd, err := giop.DecodeIOR(d)
+			if err != nil {
+				return fmt.Errorf("orb: corrupt LOCATION_FORWARD body: %w", err)
+			}
+			ior = fwd
+			o.mu.Lock()
+			o.ior = fwd
+			o.stats.Forwards++
+			o.mu.Unlock()
+			continue
+		case giop.ReplyNeedsAddressingMode:
+			o.mu.Lock()
+			o.stats.Retransmissions++
+			o.mu.Unlock()
+			continue
+		default:
+			return &giop.SystemException{RepoID: giop.RepoInternal, Minor: 21, Completed: giop.CompletedMaybe}
+		}
+	}
+	return giop.CommFailure(11, giop.CompletedMaybe)
+}
+
+// oneWayPooled is InvokeOneWay over the shared transport.
+func (o *ObjectRef) oneWayPooled(op string, writeArgs func(*cdr.Encoder)) error {
+	o.mu.Lock()
+	o.stats.Invocations++
+	ior := o.ior
+	o.mu.Unlock()
+
+	addr, err := ior.Addr()
+	if err != nil {
+		return giop.Transient(1, giop.CompletedNo)
+	}
+	prof, err := ior.IIOP()
+	if err != nil {
+		return fmt.Errorf("orb: reference has no IIOP profile: %w", err)
+	}
+	mc, err := o.orb.pool.get(addr)
+	if err != nil {
+		return err
+	}
+	return mc.send(func(reqID uint32) []byte {
+		return giop.EncodeRequest(o.orb.order, giop.RequestHeader{
+			RequestID:        reqID,
+			ResponseExpected: false,
+			ObjectKey:        prof.ObjectKey,
+			Operation:        op,
+		}, writeArgs)
+	})
+}
+
+// locatePooled is Locate over the shared transport; LocateReplies are
+// demultiplexed by request id exactly like Replies.
+func (o *ObjectRef) locatePooled() (giop.LocateStatus, error) {
+	o.mu.Lock()
+	ior := o.ior
+	o.mu.Unlock()
+
+	addr, err := ior.Addr()
+	if err != nil {
+		return 0, giop.Transient(1, giop.CompletedNo)
+	}
+	prof, err := ior.IIOP()
+	if err != nil {
+		return 0, fmt.Errorf("orb: reference has no IIOP profile: %w", err)
+	}
+	mc, err := o.orb.pool.get(addr)
+	if err != nil {
+		return 0, err
+	}
+	hdr, body, err := mc.roundTrip(func(reqID uint32) []byte {
+		return giop.EncodeLocateRequest(o.orb.order, giop.LocateRequestHeader{
+			RequestID: reqID,
+			ObjectKey: prof.ObjectKey,
+		})
+	})
+	if err != nil {
+		return 0, giop.CommFailure(16, giop.CompletedMaybe)
+	}
+	if hdr.Type != giop.MsgLocateReply {
+		return 0, &giop.SystemException{RepoID: giop.RepoInternal, Minor: 23, Completed: giop.CompletedMaybe}
+	}
+	lh, fwd, err := giop.DecodeLocateReply(hdr.Order, body)
+	if err != nil {
+		return 0, fmt.Errorf("orb: corrupt locate reply: %w", err)
+	}
+	if lh.Status == giop.LocateObjectForward && fwd != nil {
+		o.mu.Lock()
+		o.ior = *fwd
+		o.stats.Forwards++
+		o.mu.Unlock()
+	}
+	return lh.Status, nil
+}
+
+// fail terminates the connection once: it closes the transport, unregisters
+// from the pool (so the next invocation redials), and settles every pending
+// request with err.
+func (m *muxConn) fail(err error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.err = err
+	pend := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+
+	if m.conn != nil {
+		_ = m.conn.Close()
+	}
+	m.pool.remove(m)
+	for _, ch := range pend {
+		ch <- muxReply{err: err}
+	}
+}

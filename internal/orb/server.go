@@ -13,6 +13,7 @@
 package orb
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -21,6 +22,12 @@ import (
 	"mead/internal/cdr"
 	"mead/internal/giop"
 )
+
+// connReadBufSize sizes the buffered reader over each connection; one fill
+// typically captures several small GIOP frames, collapsing the
+// header-then-body read pairs into a single syscall. Sized to swallow a
+// whole pipelined burst (64 in-flight small requests) in one fill.
+const connReadBufSize = 16 << 10
 
 // Servant is a CORBA object implementation: it receives an operation name
 // with decoded-argument access and writes its result.
@@ -247,27 +254,43 @@ func (s *ServerORB) serveConn(conn net.Conn) {
 			hook(active)
 		}
 	}()
+	// Requests are decoded on this goroutine but dispatched concurrently,
+	// so one slow servant no longer head-of-line-blocks the connection.
+	// Replies are serialized through cw: GIOP allows interleaved replies
+	// in any order (clients demultiplex by request id), but each reply's
+	// frames must stay contiguous on the wire.
+	rd := bufio.NewReaderSize(conn, connReadBufSize)
+	cw := newConnWriter(conn)
 	for {
-		h, body, err := giop.ReadMessage(conn)
+		h, body, err := giop.ReadMessage(rd)
 		if err != nil {
 			return
 		}
 		switch h.Type {
 		case giop.MsgRequest:
-			if err := s.handleRequest(conn, h, body); err != nil {
+			hdr, args, err := giop.DecodeRequest(h.Order, body)
+			if err != nil {
+				_ = cw.writeMessage(giop.EncodeMessage(s.order, giop.MsgMessageError, nil), 0)
 				return
 			}
+			// serveConn's own wg slot keeps the counter above zero, so this
+			// Add cannot race a Wait that already returned.
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.dispatchRequest(conn, cw, hdr, args)
+			}()
 		case giop.MsgCloseConnection:
 			return
 		case giop.MsgLocateRequest:
-			if err := s.handleLocate(conn, h, body); err != nil {
+			if err := s.handleLocate(cw, h, body); err != nil {
 				return
 			}
 		case giop.MsgCancelRequest:
-			// Accepted and ignored: replies are synchronous here, so a
-			// cancel can never overtake the reply it targets.
+			// Accepted and ignored, as the specification permits: the reply
+			// (if any) for the cancelled request is simply still delivered.
 		default:
-			_ = giop.WriteMessage(conn, s.order, giop.MsgMessageError, nil)
+			_ = cw.writeMessage(giop.EncodeMessage(s.order, giop.MsgMessageError, nil), 0)
 			return
 		}
 	}
@@ -275,10 +298,10 @@ func (s *ServerORB) serveConn(conn net.Conn) {
 
 // handleLocate answers GIOP LocateRequests: OBJECT_HERE for keys this
 // adapter serves, UNKNOWN_OBJECT otherwise.
-func (s *ServerORB) handleLocate(conn net.Conn, h giop.Header, body []byte) error {
+func (s *ServerORB) handleLocate(cw *connWriter, h giop.Header, body []byte) error {
 	hdr, err := giop.DecodeLocateRequest(h.Order, body)
 	if err != nil {
-		return giop.WriteMessage(conn, s.order, giop.MsgMessageError, nil)
+		return cw.writeMessage(giop.EncodeMessage(s.order, giop.MsgMessageError, nil), 0)
 	}
 	s.mu.Lock()
 	_, known := s.servants[string(hdr.ObjectKey)]
@@ -289,18 +312,17 @@ func (s *ServerORB) handleLocate(conn net.Conn, h giop.Header, body []byte) erro
 	}
 	reply := giop.EncodeLocateReply(s.order,
 		giop.LocateReplyHeader{RequestID: hdr.RequestID, Status: status}, nil)
-	if err := giop.WriteMessageFragmented(conn, reply, s.maxBody); err != nil {
+	if err := cw.writeMessage(reply, s.maxBody); err != nil {
 		return fmt.Errorf("orb: write locate reply: %w", err)
 	}
 	return nil
 }
 
-func (s *ServerORB) handleRequest(conn net.Conn, h giop.Header, body []byte) error {
-	hdr, args, err := giop.DecodeRequest(h.Order, body)
-	if err != nil {
-		return giop.WriteMessage(conn, s.order, giop.MsgMessageError, nil)
-	}
-
+// dispatchRequest invokes the servant for one decoded Request and writes its
+// reply (through the connection's batching writer). It runs on a per-request
+// goroutine; a write failure tears the connection down, which unblocks the
+// reader.
+func (s *ServerORB) dispatchRequest(conn net.Conn, cw *connWriter, hdr giop.RequestHeader, args *cdr.Decoder) {
 	s.mu.Lock()
 	servant := s.servants[string(hdr.ObjectKey)]
 	s.mu.Unlock()
@@ -309,8 +331,9 @@ func (s *ServerORB) handleRequest(conn net.Conn, h giop.Header, body []byte) err
 		status giop.ReplyStatus
 		sysEx  *giop.SystemException
 		userEx *UserException
-		result = cdr.NewEncoder(s.order)
+		result = cdr.GetEncoder(s.order)
 	)
+	defer result.Release()
 	switch {
 	case servant == nil:
 		status = giop.ReplySystemException
@@ -333,7 +356,7 @@ func (s *ServerORB) handleRequest(conn net.Conn, h giop.Header, body []byte) err
 		}
 	}
 	if !hdr.ResponseExpected {
-		return nil
+		return
 	}
 
 	reply := giop.EncodeReply(s.order, giop.ReplyHeader{RequestID: hdr.RequestID, Status: status},
@@ -347,8 +370,7 @@ func (s *ServerORB) handleRequest(conn net.Conn, h giop.Header, body []byte) err
 				e.WriteString(userEx.RepoID)
 			}
 		})
-	if err := giop.WriteMessageFragmented(conn, reply, s.maxBody); err != nil {
-		return fmt.Errorf("orb: write reply: %w", err)
+	if err := cw.writeMessage(reply, s.maxBody); err != nil {
+		_ = conn.Close()
 	}
-	return nil
 }

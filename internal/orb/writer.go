@@ -1,0 +1,57 @@
+package orb
+
+import (
+	"bufio"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mead/internal/giop"
+)
+
+// connWriteBufSize sizes the coalescing write buffer on multiplexed
+// connections.
+const connWriteBufSize = 32 << 10
+
+// connWriter serializes and batches concurrent message writes on one
+// connection. Each writer announces itself (pending) before taking the lock;
+// after appending its message to the shared buffer, the last writer out
+// flushes. Under bursts this coalesces many frames into one transport write,
+// which is what lets a single connection carry many concurrent in-flight
+// requests at a fraction of the per-request syscall cost.
+type connWriter struct {
+	conn    net.Conn
+	pending atomic.Int64
+
+	mu sync.Mutex
+	bw *bufio.Writer
+}
+
+func newConnWriter(conn net.Conn) *connWriter {
+	return &connWriter{conn: conn, bw: bufio.NewWriterSize(conn, connWriteBufSize)}
+}
+
+// writeMessage appends one message (fragmenting per maxBody) and flushes
+// unless another writer has already committed to following it — that writer
+// (or its successor) then takes over the flush, so the buffer is always
+// flushed by whoever leaves last. The Gosched between appending and the
+// flush decision lets every already-runnable caller enqueue its message
+// first; under a burst of concurrent writers the whole batch then leaves in
+// a single transport write, which matters most when GOMAXPROCS is small and
+// writers would otherwise run (and flush) strictly one after another.
+func (w *connWriter) writeMessage(msg []byte, maxBody int) error {
+	w.pending.Add(1)
+	w.mu.Lock()
+	err := giop.WriteMessageFragmented(w.bw, msg, maxBody)
+	w.mu.Unlock()
+	runtime.Gosched()
+	if w.pending.Add(-1) == 0 {
+		w.mu.Lock()
+		if ferr := w.bw.Flush(); err == nil {
+			err = ferr
+		}
+		w.mu.Unlock()
+	}
+	return err
+}
