@@ -1,11 +1,18 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check vet build test bench-smoke bench
+.PHONY: check fmt-check vet build test bench-smoke bench fuzz-smoke
 
-## check: the full verification gate — static analysis, build, race-enabled
-## tests, and a one-iteration smoke pass over every benchmark (which also
-## exercises the alloc-reporting paths).
-check: vet build test bench-smoke
+## check: the full verification gate — formatting, static analysis, build,
+## race-enabled tests, and a one-iteration smoke pass over every benchmark
+## (which also exercises the alloc-reporting paths).
+check: fmt-check vet build test bench-smoke
+
+## fmt-check: fail (listing the offenders) when any tracked Go file is not
+## gofmt-clean.
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +31,15 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 ## bench: a real measurement pass over the transport benchmarks used in
-## EXPERIMENTS.md (encode/parse micro-benches and serialized-vs-pipelined
+## EXPERIMENTS.md (encode/decode micro-benches and serialized-vs-pipelined
 ## invocation throughput).
 bench:
-	$(GO) test -run '^$$' -bench 'GIOPRequestEncode|RequestParse|Invocations' -benchtime=20000x .
+	$(GO) test -run '^$$' -bench 'GIOPRequestEncode|GIOPRequestDecode|GIOPReplyDecode|RequestParse|Invocations' -benchmem -benchtime=20000x .
+
+## fuzz-smoke: a short burst over each fuzz target (decode paths and the CDR
+## string reader) to keep them healthy; CI-friendly at ~30s total.
+fuzz-smoke:
+	$(GO) test ./internal/giop/ -run '^$$' -fuzz FuzzDecodeRequest -fuzztime 8s
+	$(GO) test ./internal/giop/ -run '^$$' -fuzz FuzzDecodeReply -fuzztime 8s
+	$(GO) test ./internal/cdr/ -run '^$$' -fuzz FuzzReadString -fuzztime 8s
+	$(GO) test ./internal/cdr/ -run '^$$' -fuzz FuzzDecoderStream -fuzztime 8s

@@ -269,6 +269,51 @@ func BenchmarkGIOPRequestEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkGIOPRequestDecode measures the steady-state server-side receive
+// cost: parse a Request body with the pooled decoder, borrow the object key,
+// intern the operation name, release. The zero-allocation receive path
+// targets 0 allocs/op here (≤2 is the acceptance bound).
+func BenchmarkGIOPRequestDecode(b *testing.B) {
+	msg := giop.EncodeRequest(cdr.BigEndian, giop.RequestHeader{
+		RequestID:        1,
+		ResponseExpected: true,
+		ObjectKey:        giop.MakeObjectKey("timeofday", "clock"),
+		Operation:        "time_of_day",
+	}, nil)
+	body := msg[giop.HeaderLen:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, d, err := giop.DecodeRequest(cdr.BigEndian, body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Release()
+	}
+}
+
+// BenchmarkGIOPReplyDecode is the client-side mirror: parse a Reply body and
+// read the result payload from the borrowed argument stream.
+func BenchmarkGIOPReplyDecode(b *testing.B) {
+	msg := giop.EncodeReply(cdr.BigEndian, giop.ReplyHeader{
+		RequestID: 1,
+		Status:    giop.ReplyNoException,
+	}, func(e *cdr.Encoder) { e.WriteLongLong(1234567890) })
+	body := msg[giop.HeaderLen:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, d, err := giop.DecodeReply(cdr.BigEndian, body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.ReadLongLong(); err != nil {
+			b.Fatal(err)
+		}
+		d.Release()
+	}
+}
+
 func BenchmarkIORStringRoundTrip(b *testing.B) {
 	ior := giop.NewIOR("IDL:mead/TimeOfDay:1.0", "127.0.0.1", 40001,
 		giop.MakeObjectKey("timeofday", "clock"))
@@ -426,6 +471,7 @@ func runInvocationBench(b *testing.B, callers int, pooled bool) {
 		b.Fatal(err)
 	}
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	var next atomic.Int64
 	var wg sync.WaitGroup

@@ -224,16 +224,53 @@ func (e *Encoder) WriteEncapsulation(fill func(*Encoder)) {
 
 // Decoder consumes a CDR stream produced by Encoder (or a conforming CORBA
 // peer). Methods return ErrTruncated when the stream is exhausted early.
+//
+// The decoder never copies or mutates buf; plain Read methods return copies,
+// while the Borrow/InPlace variants return slices aliasing buf (see the
+// buffer-ownership rules in docs/PROTOCOL.md §8).
 type Decoder struct {
-	buf   []byte
-	pos   int
-	order ByteOrder
+	buf    []byte
+	pos    int
+	order  ByteOrder
+	origin int // alignment origin: offset of the current stream's first byte
 }
 
 // NewDecoder returns a Decoder over buf interpreting multi-byte values in
 // the given byte order.
 func NewDecoder(buf []byte, order ByteOrder) *Decoder {
 	return &Decoder{buf: buf, order: order}
+}
+
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// GetDecoder returns a pooled Decoder over buf — the decode-side dual of
+// GetEncoder. Return it with Release once the stream (and everything
+// borrowed from it) is no longer needed; callers that never Release merely
+// forgo reuse.
+func GetDecoder(buf []byte, order ByteOrder) *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	d.buf = buf
+	d.pos = 0
+	d.origin = 0
+	d.order = order
+	return d
+}
+
+// Release returns a pooled decoder for reuse. The caller must not touch d
+// after Release; slices previously borrowed from the underlying buffer
+// remain valid (the buffer's lifetime is governed by its own owner).
+func (d *Decoder) Release() {
+	d.buf = nil
+	decoderPool.Put(d)
+}
+
+// Rebase makes the current position the stream's alignment origin, starting
+// a spliced sub-stream in place — the decoding dual of Encoder.Rebase.
+// DecodeRequest/DecodeReply use it to hand back the same decoder positioned
+// at the operation arguments (their own alignment origin) without
+// allocating a second decoder.
+func (d *Decoder) Rebase() {
+	d.origin = d.pos
 }
 
 // Remaining returns the number of unread bytes.
@@ -251,7 +288,7 @@ func (d *Decoder) Pos() int { return d.pos }
 func (d *Decoder) Order() ByteOrder { return d.order }
 
 func (d *Decoder) align(n int) error {
-	rem := d.pos % n
+	rem := (d.pos - d.origin) % n
 	if rem == 0 {
 		return nil
 	}
@@ -359,30 +396,21 @@ func (d *Decoder) ReadDouble() (float64, error) {
 	return math.Float64frombits(v), err
 }
 
-// ReadString reads a CDR string.
+// ReadString reads a CDR string. The result is a copy, safe to retain.
 func (d *Decoder) ReadString() (string, error) {
-	n, err := d.ReadULong()
+	b, err := d.readStringBytes()
 	if err != nil {
 		return "", err
 	}
-	if n == 0 {
-		return "", fmt.Errorf("%w: zero-length string (must include NUL)", ErrBadString)
-	}
-	if uint32(d.Remaining()) < n {
-		return "", ErrLengthOverflow
-	}
-	b, err := d.take(int(n))
-	if err != nil {
-		return "", err
-	}
-	if b[n-1] != 0 {
-		return "", fmt.Errorf("%w: missing NUL terminator", ErrBadString)
-	}
-	return string(b[:n-1]), nil
+	return string(b), nil
 }
 
-// ReadOctets reads a sequence<octet>. The returned slice is a copy.
-func (d *Decoder) ReadOctets() ([]byte, error) {
+// ReadOctetsBorrow reads a sequence<octet> and returns a slice aliasing the
+// decoder's buffer — the zero-copy fast path for the GIOP receive cycle.
+// The slice is valid only as long as the underlying buffer (for pooled
+// message bodies: until the body is released); callers that retain it past
+// that point must copy first.
+func (d *Decoder) ReadOctetsBorrow() ([]byte, error) {
 	n, err := d.ReadULong()
 	if err != nil {
 		return nil, err
@@ -394,9 +422,55 @@ func (d *Decoder) ReadOctets() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, n)
+	// Cap the slice so appends by a careless caller cannot scribble on the
+	// bytes that follow in the shared buffer.
+	return b[:len(b):len(b)], nil
+}
+
+// ReadOctets reads a sequence<octet>. The returned slice is a copy.
+func (d *Decoder) ReadOctets() ([]byte, error) {
+	b, err := d.ReadOctetsBorrow()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(b))
 	copy(out, b)
 	return out, nil
+}
+
+// ReadStringIntern reads a CDR string through an Interner: repeated values
+// (operation names, repository ids) resolve to one shared immutable string
+// with no per-read allocation. The result is a normal Go string, safe to
+// retain.
+func (d *Decoder) ReadStringIntern(it *Interner) (string, error) {
+	b, err := d.readStringBytes()
+	if err != nil {
+		return "", err
+	}
+	return it.Intern(b), nil
+}
+
+// readStringBytes reads a CDR string and returns its bytes (sans NUL)
+// aliasing the decoder's buffer.
+func (d *Decoder) readStringBytes() ([]byte, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero-length string (must include NUL)", ErrBadString)
+	}
+	if uint32(d.Remaining()) < n {
+		return nil, ErrLengthOverflow
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	if b[n-1] != 0 {
+		return nil, fmt.Errorf("%w: missing NUL terminator", ErrBadString)
+	}
+	return b[:n-1], nil
 }
 
 // ReadEncapsulation reads a CDR encapsulation and returns a Decoder over its
@@ -413,4 +487,19 @@ func (d *Decoder) ReadEncapsulation() (*Decoder, error) {
 	inner := NewDecoder(payload, ByteOrder(payload[0]&1))
 	inner.pos = 1
 	return inner, nil
+}
+
+// ReadEncapsulationInPlace reads a CDR encapsulation and returns a Decoder
+// (by value, so it can live on the caller's stack) whose stream aliases the
+// outer buffer instead of copying the payload. Values read from it obey the
+// same borrow rules as the outer decoder.
+func (d *Decoder) ReadEncapsulationInPlace() (Decoder, error) {
+	payload, err := d.ReadOctetsBorrow()
+	if err != nil {
+		return Decoder{}, err
+	}
+	if len(payload) == 0 {
+		return Decoder{}, fmt.Errorf("cdr: empty encapsulation: %w", ErrTruncated)
+	}
+	return Decoder{buf: payload, pos: 1, origin: 0, order: ByteOrder(payload[0] & 1)}, nil
 }

@@ -1,0 +1,53 @@
+package cdr
+
+import "sync"
+
+// Interner deduplicates hot repeated strings decoded off the wire —
+// operation names, object-key prefixes, exception repository ids — so the
+// steady-state receive path never allocates a fresh string per message.
+//
+// Lookups by []byte key use the map[string]T compiler fast path (no
+// conversion allocation); only the first sighting of a value pays one
+// allocation. The cache is bounded: once full, unseen values are still
+// returned correctly (as fresh copies) but not cached, so a hostile peer
+// streaming unique strings cannot grow it without bound.
+type Interner struct {
+	max int
+	mu  sync.RWMutex
+	m   map[string]string
+}
+
+// NewInterner returns an Interner holding at most max distinct strings.
+func NewInterner(max int) *Interner {
+	if max <= 0 {
+		max = 256
+	}
+	return &Interner{max: max, m: make(map[string]string, 16)}
+}
+
+// Intern returns the canonical string equal to b, allocating only on first
+// sight (or when the cache is full).
+func (it *Interner) Intern(b []byte) string {
+	it.mu.RLock()
+	s, ok := it.m[string(b)] // no-alloc map lookup
+	it.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	it.mu.Lock()
+	if canon, ok := it.m[s]; ok {
+		s = canon // lost the insert race; keep the canonical copy
+	} else if len(it.m) < it.max {
+		it.m[s] = s
+	}
+	it.mu.Unlock()
+	return s
+}
+
+// Len reports how many distinct strings are cached (test/diagnostic hook).
+func (it *Interner) Len() int {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	return len(it.m)
+}

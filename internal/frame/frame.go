@@ -32,21 +32,35 @@ func Write(w io.Writer, payload []byte) error {
 	return nil
 }
 
-// Read reads one length-prefixed frame.
+// Read reads one length-prefixed frame into a freshly allocated buffer the
+// caller owns. Steady-state receive loops use ReadInto to recycle one.
 func Read(r io.Reader) ([]byte, error) {
+	payload, _, err := ReadInto(r, nil)
+	return payload, err
+}
+
+// ReadInto reads one length-prefixed frame, reusing buf as backing storage
+// when its capacity suffices (growing it otherwise). It returns the payload
+// and the buffer to pass to the next call; the payload aliases that buffer
+// and is valid only until the next ReadInto call with it — retain a copy,
+// not the slice.
+func ReadInto(r io.Reader, buf []byte) (payload, next []byte, err error) {
 	var lenb [4]byte
 	if _, err := io.ReadFull(r, lenb[:]); err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	n := binary.BigEndian.Uint32(lenb[:])
 	if n > MaxLen {
-		return nil, ErrTooLarge
+		return nil, buf, ErrTooLarge
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("frame: short payload: %w", err)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
 	}
-	return payload, nil
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, buf, fmt.Errorf("frame: short payload: %w", err)
+	}
+	return buf[:n:n], buf, nil
 }
 
 // WireLen returns the on-wire size of a frame with the given payload length.

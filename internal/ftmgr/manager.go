@@ -414,12 +414,15 @@ func (m *Manager) WrapServerConn(conn net.Conn) net.Conn {
 			m.noteRequest()
 			if m.cfg.Scheme == LocationForward {
 				// Full request parsing: the dominant cost of this scheme
-				// (90% RTT overhead in the paper).
-				hdr, _, err := giop.DecodeRequest(f.Header.Order, f.Body())
+				// (90% RTT overhead in the paper). The decoded header
+				// borrows the frame buffer, so the object key is copied
+				// into state that outlives this hook call.
+				hdr, d, err := giop.DecodeRequest(f.Header.Order, f.Body())
 				if err == nil {
 					st.lastRequestID = hdr.RequestID
-					st.lastObjectKey = hdr.ObjectKey
+					st.lastObjectKey = append(st.lastObjectKey[:0], hdr.ObjectKey...)
 					st.haveRequest = true
+					d.Release()
 				}
 			}
 			return f.Raw, nil

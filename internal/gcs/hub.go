@@ -315,8 +315,13 @@ func (h *Hub) readLoop(hc *hubConn) {
 	defer func() {
 		h.post(hubEvent{kind: evGone, hc: hc})
 	}()
+	// One reusable frame buffer serves the whole loop: the posted events
+	// carry only copies (ReadString/ReadOctets) of the frame's fields.
+	var buf []byte
 	for {
-		frame, err := readFrame(hc.conn)
+		var frame []byte
+		var err error
+		frame, buf, err = readFrameInto(hc.conn, buf)
 		if err != nil {
 			return
 		}

@@ -169,8 +169,13 @@ func (m *Member) readLoop() {
 		close(m.deliveries)
 		close(m.done)
 	}()
+	// One reusable frame buffer serves the whole loop: every Delivery field
+	// below is copied out of the frame by the CDR reads.
+	var buf []byte
 	for {
-		frame, err := readFrame(m.conn)
+		var frame []byte
+		var err error
+		frame, buf, err = readFrameInto(m.conn, buf)
 		if err != nil {
 			return
 		}

@@ -41,6 +41,14 @@ func writeFrame(w io.Writer, payload []byte) error { return frame.Write(w, paylo
 // readFrame reads one length-prefixed frame.
 func readFrame(r io.Reader) ([]byte, error) { return frame.Read(r) }
 
+// readFrameInto reads one length-prefixed frame, recycling buf. The payload
+// aliases the returned buffer; receive loops that copy every field out of
+// the frame (as the decoders below do) use it to avoid a per-message
+// allocation.
+func readFrameInto(r io.Reader, buf []byte) (payload, next []byte, err error) {
+	return frame.ReadInto(r, buf)
+}
+
 // frameLen returns the on-wire size of a frame with the given payload
 // length (used for bandwidth accounting).
 func frameLen(payloadLen int) uint64 { return frame.WireLen(payloadLen) }

@@ -1,0 +1,158 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+
+	"mead/internal/cdr"
+)
+
+func TestGetMsgBufSizing(t *testing.T) {
+	cases := []struct {
+		n       int
+		wantCap int // 0 means "exactly n" (oversized path)
+	}{
+		{0, 512},
+		{1, 512},
+		{512, 512},
+		{513, 8 << 10},
+		{8 << 10, 8 << 10},
+		{(8 << 10) + 1, 64 << 10},
+		{64 << 10, 64 << 10},
+	}
+	for _, c := range cases {
+		mb := GetMsgBuf(c.n)
+		if len(mb.Bytes()) != c.n {
+			t.Errorf("GetMsgBuf(%d): len = %d", c.n, len(mb.Bytes()))
+		}
+		if cap(mb.b) != c.wantCap {
+			t.Errorf("GetMsgBuf(%d): cap = %d, want %d", c.n, cap(mb.b), c.wantCap)
+		}
+		mb.Release()
+	}
+	over := (64 << 10) + 1
+	mb := GetMsgBuf(over)
+	if len(mb.Bytes()) != over {
+		t.Fatalf("oversized: len = %d", len(mb.Bytes()))
+	}
+	mb.Release() // dropped, not pooled; must not panic
+}
+
+func TestMsgBufReleaseNil(t *testing.T) {
+	var mb *MsgBuf
+	mb.Release() // error paths release unconditionally
+}
+
+func TestMsgBufGrowPreservesContents(t *testing.T) {
+	mb := GetMsgBuf(100)
+	for i := range mb.b {
+		mb.b[i] = byte(i)
+	}
+	snapshot := append([]byte(nil), mb.Bytes()...)
+
+	// Within-class growth.
+	mb.grow(200)
+	if len(mb.Bytes()) != 200 || !bytes.Equal(mb.Bytes()[:100], snapshot) {
+		t.Fatal("in-place grow lost contents")
+	}
+	// Cross-class growth.
+	mb.grow(10 << 10)
+	if len(mb.Bytes()) != 10<<10 || !bytes.Equal(mb.Bytes()[:100], snapshot) {
+		t.Fatal("cross-class grow lost contents")
+	}
+	// Beyond the top class.
+	mb.grow((64 << 10) + 5)
+	if len(mb.Bytes()) != (64<<10)+5 || !bytes.Equal(mb.Bytes()[:100], snapshot) {
+		t.Fatal("oversized grow lost contents")
+	}
+	mb.Release()
+}
+
+// TestMsgBufPoolClassInvariant checks that recycling never plants a
+// wrong-capacity buffer in a class pool: after arbitrary get/grow/release
+// traffic, fresh buffers from each class still have that class's capacity.
+func TestMsgBufPoolClassInvariant(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		mb := GetMsgBuf(64)
+		mb.grow(1 << 10)
+		mb.grow(20 << 10)
+		mb.Release()
+	}
+	for _, n := range []int{1, 600, 9 << 10} {
+		mb := GetMsgBuf(n)
+		ci := classFor(n)
+		if cap(mb.b) != msgBufClasses[ci] {
+			t.Fatalf("GetMsgBuf(%d): cap %d escaped its class %d", n, cap(mb.b), msgBufClasses[ci])
+		}
+		mb.Release()
+	}
+}
+
+// TestDecodeRequestAllocs is the steady-state guard for the zero-allocation
+// receive path: decoding a warm request (pooled decoder, borrowed octets,
+// interned operation name) must not allocate.
+func TestDecodeRequestAllocs(t *testing.T) {
+	msg := EncodeRequest(cdr.BigEndian, RequestHeader{
+		RequestID:        7,
+		ResponseExpected: true,
+		ObjectKey:        MakeObjectKey("svc", "obj"),
+		Operation:        "ping",
+	}, nil)
+	body := msg[HeaderLen:]
+	// Warm the interner and pools.
+	if _, d, err := DecodeRequest(cdr.BigEndian, body); err != nil {
+		t.Fatal(err)
+	} else {
+		d.Release()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, d, err := DecodeRequest(cdr.BigEndian, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Release()
+	})
+	if allocs > 2 {
+		t.Fatalf("DecodeRequest allocates %.1f objects per op, want <= 2", allocs)
+	}
+}
+
+// TestDecodeReplyAllocs mirrors TestDecodeRequestAllocs for the client side.
+func TestDecodeReplyAllocs(t *testing.T) {
+	msg := EncodeReply(cdr.BigEndian, ReplyHeader{RequestID: 7, Status: ReplyNoException},
+		func(e *cdr.Encoder) { e.WriteULong(42) })
+	body := msg[HeaderLen:]
+	if _, d, err := DecodeReply(cdr.BigEndian, body); err != nil {
+		t.Fatal(err)
+	} else {
+		d.Release()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, d, err := DecodeReply(cdr.BigEndian, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Release()
+	})
+	if allocs > 2 {
+		t.Fatalf("DecodeReply allocates %.1f objects per op, want <= 2", allocs)
+	}
+}
+
+// TestReadMessagePooledAllocs checks the framing layer itself recycles: a
+// warm non-fragmented read allocates nothing.
+func TestReadMessagePooledAllocs(t *testing.T) {
+	msg := EncodeMessage(cdr.BigEndian, MsgRequest, bytes.Repeat([]byte{1}, 64))
+	rd := bytes.NewReader(msg)
+	allocs := testing.AllocsPerRun(100, func() {
+		rd.Reset(msg)
+		_, mb, err := ReadMessagePooled(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb.Release()
+	})
+	if allocs > 0 {
+		t.Fatalf("ReadMessagePooled allocates %.1f objects per op, want 0", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package giop
 import (
 	"fmt"
 	"io"
+	"sync"
 )
 
 // GIOP 1.1 fragmentation: a message whose header carries the
@@ -19,7 +20,8 @@ const FlagMoreFragments = 0x02
 
 // FragmentMessage splits a complete GIOP message (header + body) into wire
 // messages whose bodies are at most maxBody bytes. A message that already
-// fits is returned unchanged as a single element.
+// fits is returned unchanged as a single element. Each emitted frame owns
+// its backing array, so later frames can never clobber earlier ones.
 func FragmentMessage(raw []byte, maxBody int) ([][]byte, error) {
 	if maxBody <= 0 {
 		return nil, fmt.Errorf("giop: fragment size must be positive")
@@ -39,7 +41,7 @@ func FragmentMessage(raw []byte, maxBody int) ([][]byte, error) {
 		return [][]byte{raw}, nil
 	}
 
-	var out [][]byte
+	out := make([][]byte, 0, (len(body)+maxBody-1)/maxBody)
 	first := true
 	for off := 0; off < len(body); off += maxBody {
 		end := off + maxBody
@@ -58,20 +60,35 @@ func FragmentMessage(raw []byte, maxBody int) ([][]byte, error) {
 		if !first {
 			hdr.Type = MsgFragment
 		}
-		frame := EncodeHeader(hdr)
-		out = append(out, append(frame, chunk...))
+		frame := make([]byte, HeaderLen+len(chunk))
+		putHeader(frame, hdr)
+		copy(frame[HeaderLen:], chunk)
+		out = append(out, frame)
 		first = false
 	}
 	return out, nil
 }
 
+// hdrScratchPool recycles the 12-byte header read buffers: a stack array
+// would escape through the io.Reader interface and cost one allocation per
+// message, which the zero-allocation receive path cannot afford.
+var hdrScratchPool = sync.Pool{New: func() any { return new([HeaderLen]byte) }}
+
+// readHeader reads and parses one 12-byte GIOP header.
+func readHeader(r io.Reader) (Header, error) {
+	hb := hdrScratchPool.Get().(*[HeaderLen]byte)
+	var h Header
+	_, err := io.ReadFull(r, hb[:])
+	if err == nil {
+		h, err = ParseHeader(hb[:])
+	}
+	hdrScratchPool.Put(hb)
+	return h, err
+}
+
 // readMessageRaw reads a single wire message without reassembly.
 func readMessageRaw(r io.Reader) (Header, []byte, error) {
-	var hb [HeaderLen]byte
-	if _, err := io.ReadFull(r, hb[:]); err != nil {
-		return Header{}, nil, err
-	}
-	h, err := ParseHeader(hb[:])
+	h, err := readHeader(r)
 	if err != nil {
 		return Header{}, nil, err
 	}
@@ -90,38 +107,50 @@ func rawFrame(h Header, body []byte) []byte {
 	return frame
 }
 
-// readAssembled reads one logical message, reassembling fragments. The
-// returned header has the fragment flag cleared and Size set to the total
-// body length; raws, if non-nil, collects every wire frame read.
-func readAssembled(r io.Reader, raws *[][]byte) (Header, []byte, error) {
-	h, body, err := readMessageRaw(r)
+// ReadMessagePooled reads one logical GIOP message into a pooled buffer,
+// reassembling GIOP 1.1 fragments single-copy: each fragment body is read
+// from the transport directly into its final position in the destination
+// buffer, with no intermediate per-fragment frames. The returned header has
+// the fragment flag cleared and Size set to the total body length.
+//
+// The caller owns the returned MsgBuf and must Release it once the body —
+// and everything the zero-copy decoders borrowed from it — is no longer
+// needed. This is the receive primitive of the steady-state ORB paths.
+func ReadMessagePooled(r io.Reader) (Header, *MsgBuf, error) {
+	h, err := readHeader(r)
 	if err != nil {
 		return Header{}, nil, err
 	}
-	if raws != nil {
-		*raws = append(*raws, rawFrame(h, body))
+	mb := GetMsgBuf(int(h.Size))
+	if _, err := io.ReadFull(r, mb.b); err != nil {
+		mb.Release()
+		return Header{}, nil, fmt.Errorf("giop: short body for %v: %w", h.Type, err)
 	}
-	fragmented := h.Fragmented
-	for fragmented {
-		fh, fbody, err := readMessageRaw(r)
+	for fragmented := h.Fragmented; fragmented; {
+		fh, err := readHeader(r)
 		if err != nil {
+			mb.Release()
 			return Header{}, nil, fmt.Errorf("giop: reading continuation fragment: %w", err)
 		}
 		if fh.Type != MsgFragment {
+			mb.Release()
 			return Header{}, nil, fmt.Errorf("giop: expected Fragment, got %v", fh.Type)
 		}
-		if len(body)+len(fbody) > MaxMessageSize() {
+		off := len(mb.b)
+		if off+int(fh.Size) > MaxMessageSize() {
+			mb.Release()
 			return Header{}, nil, fmt.Errorf("%w: reassembled message", ErrTooLarge)
 		}
-		if raws != nil {
-			*raws = append(*raws, rawFrame(fh, fbody))
+		mb.grow(off + int(fh.Size))
+		if _, err := io.ReadFull(r, mb.b[off:]); err != nil {
+			mb.Release()
+			return Header{}, nil, fmt.Errorf("giop: short body for %v: %w", fh.Type, err)
 		}
-		body = append(body, fbody...)
 		fragmented = fh.Fragmented
 	}
 	h.Fragmented = false
-	h.Size = uint32(len(body))
-	return h, body, nil
+	h.Size = uint32(len(mb.b))
+	return h, mb, nil
 }
 
 // WriteMessageFragmented writes a complete GIOP message, splitting it when

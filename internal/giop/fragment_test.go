@@ -111,6 +111,94 @@ func TestReadFrameReassemblesFragments(t *testing.T) {
 	}
 }
 
+// TestFragmentFramesIndependent guards against the aliasing bug where
+// frames shared a growing backing array, so appending a later frame could
+// scribble over an earlier one: every emitted frame must still carry its
+// exact header and body chunk after the whole train has been built.
+func TestFragmentFramesIndependent(t *testing.T) {
+	const payload, maxBody = 1000, 128
+	msg := bigRequest(payload)
+	body := msg[HeaderLen:]
+	frames, err := FragmentMessage(msg, maxBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for i, fr := range frames {
+		h, err := ParseHeader(fr[:HeaderLen])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		chunk := fr[HeaderLen:]
+		if int(h.Size) != len(chunk) {
+			t.Fatalf("frame %d: header size %d, body %d", i, h.Size, len(chunk))
+		}
+		if !bytes.Equal(chunk, body[off:off+len(chunk)]) {
+			t.Fatalf("frame %d: body chunk corrupted", i)
+		}
+		wantMore := off+len(chunk) < len(body)
+		if h.Fragmented != wantMore {
+			t.Fatalf("frame %d: more-fragments = %v, want %v", i, h.Fragmented, wantMore)
+		}
+		off += len(chunk)
+	}
+	if off != len(body) {
+		t.Fatalf("frames cover %d bytes, body is %d", off, len(body))
+	}
+	// Writing into one frame's spare capacity must not leak into another.
+	for i := range frames {
+		frames[i] = append(frames[i], 0xFF)
+	}
+	off = 0
+	for i, fr := range frames {
+		chunk := fr[HeaderLen : len(fr)-1]
+		if !bytes.Equal(chunk, body[off:off+len(chunk)]) {
+			t.Fatalf("frame %d aliases a sibling's backing array", i)
+		}
+		off += len(chunk)
+	}
+}
+
+func TestReadMessagePooledRoundTrip(t *testing.T) {
+	msg := bigRequest(1000)
+	frames, err := FragmentMessage(msg, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	for _, f := range frames {
+		wire.Write(f)
+	}
+	h, mb, err := ReadMessagePooled(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mb.Release()
+	if h.Type != MsgRequest || h.Fragmented {
+		t.Fatalf("assembled header = %+v", h)
+	}
+	if int(h.Size) != len(mb.Bytes()) {
+		t.Fatalf("header size %d, body %d", h.Size, len(mb.Bytes()))
+	}
+	if !bytes.Equal(mb.Bytes(), msg[HeaderLen:]) {
+		t.Fatal("assembled body differs from original")
+	}
+}
+
+func TestReadMessagePooledRejectsWrongContinuation(t *testing.T) {
+	msg := bigRequest(600)
+	frames, err := FragmentMessage(msg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire bytes.Buffer
+	wire.Write(frames[0])
+	wire.Write(EncodeMessage(cdr.BigEndian, MsgReply, nil))
+	if _, _, err := ReadMessagePooled(&wire); err == nil {
+		t.Fatal("wrong continuation accepted")
+	}
+}
+
 func TestFragmentErrors(t *testing.T) {
 	msg := bigRequest(100)
 	if _, err := FragmentMessage(msg, 0); err == nil {

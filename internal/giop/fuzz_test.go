@@ -1,0 +1,133 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+
+	"mead/internal/cdr"
+)
+
+// Fuzz targets for the zero-copy decode path. The borrow/intern refactor
+// must hold two properties for arbitrary (hostile) bodies:
+//
+//  1. no panics or out-of-bounds reads — every malformed body is rejected
+//     with an error; and
+//  2. no aliasing corruption — decoding the same body twice yields identical
+//     headers, and decoded fields never extend past the body (capacity-capped
+//     borrows), so appending to one can't scribble on the message.
+
+func fuzzSeedRequests() [][]byte {
+	var seeds [][]byte
+	for _, msg := range [][]byte{
+		EncodeRequest(cdr.BigEndian, RequestHeader{
+			RequestID:        1,
+			ResponseExpected: true,
+			ObjectKey:        MakeObjectKey("svc", "obj"),
+			Operation:        "ping",
+		}, nil),
+		EncodeRequest(cdr.LittleEndian, RequestHeader{
+			RequestID:        0xFFFFFFFF,
+			ResponseExpected: false,
+			ObjectKey:        []byte{0},
+			Operation:        "x",
+			Principal:        []byte("me"),
+			ServiceContexts:  []ServiceContext{{ID: 7, Data: []byte{1, 2, 3}}},
+		}, func(e *cdr.Encoder) { e.WriteString("arg"); e.WriteULong(9) }),
+	} {
+		seeds = append(seeds, msg[HeaderLen:])
+	}
+	seeds = append(seeds, nil, []byte{0}, bytes.Repeat([]byte{0xFF}, 40))
+	return seeds
+}
+
+func FuzzDecodeRequest(f *testing.F) {
+	for _, s := range fuzzSeedRequests() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+			hdr1, d1, err1 := DecodeRequest(order, body)
+			if err1 != nil {
+				continue
+			}
+			// Borrowed fields must stay inside the body and be capacity-capped.
+			checkBorrow(t, body, hdr1.ObjectKey, "ObjectKey")
+			checkBorrow(t, body, hdr1.Principal, "Principal")
+			for _, sc := range hdr1.ServiceContexts {
+				checkBorrow(t, body, sc.Data, "ServiceContext.Data")
+			}
+			rest1 := append([]byte(nil), d1.Rest()...)
+			d1.Release()
+
+			hdr2, d2, err2 := DecodeRequest(order, body)
+			if err2 != nil {
+				t.Fatalf("decode not deterministic: %v then %v", err1, err2)
+			}
+			if hdr1.RequestID != hdr2.RequestID || hdr1.Operation != hdr2.Operation ||
+				!bytes.Equal(hdr1.ObjectKey, hdr2.ObjectKey) {
+				t.Fatalf("decode not deterministic: %+v vs %+v", hdr1, hdr2)
+			}
+			if !bytes.Equal(rest1, d2.Rest()) {
+				t.Fatal("argument stream not deterministic")
+			}
+			d2.Release()
+
+			// The id-only fast path must agree with the full parse.
+			if id, err := RequestIDOf(order, body); err != nil || id != hdr1.RequestID {
+				t.Fatalf("RequestIDOf = %d, %v; DecodeRequest id = %d", id, err, hdr1.RequestID)
+			}
+		}
+	})
+}
+
+func FuzzDecodeReply(f *testing.F) {
+	okReply := EncodeReply(cdr.BigEndian, ReplyHeader{RequestID: 3, Status: ReplyNoException},
+		func(e *cdr.Encoder) { e.WriteULong(42) })
+	exReply := EncodeReply(cdr.LittleEndian, ReplyHeader{
+		RequestID:       4,
+		Status:          ReplySystemException,
+		ServiceContexts: []ServiceContext{{ID: 1, Data: []byte{9}}},
+	}, func(e *cdr.Encoder) {
+		EncodeSystemException(e, &giopInternal)
+	})
+	f.Add(okReply[HeaderLen:])
+	f.Add(exReply[HeaderLen:])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xAA}, 23))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+			hdr1, d1, err := DecodeReply(order, body)
+			if err != nil {
+				continue
+			}
+			for _, sc := range hdr1.ServiceContexts {
+				checkBorrow(t, body, sc.Data, "ServiceContext.Data")
+			}
+			if hdr1.Status == ReplySystemException {
+				// Exercise the interning decode on arbitrary exception bodies.
+				_, _ = DecodeSystemException(d1)
+			}
+			d1.Release()
+			if id, err := ReplyIDOf(order, body); err != nil || id != hdr1.RequestID {
+				t.Fatalf("ReplyIDOf = %d, %v; DecodeReply id = %d", id, err, hdr1.RequestID)
+			}
+		}
+	})
+}
+
+var giopInternal = SystemException{RepoID: RepoInternal, Minor: 1, Completed: CompletedNo}
+
+// checkBorrow asserts that a borrowed slice lies within body and cannot be
+// appended into the bytes that follow it (capacity-capped).
+func checkBorrow(t *testing.T, body, b []byte, what string) {
+	t.Helper()
+	if len(b) == 0 {
+		return
+	}
+	if len(b) > len(body) {
+		t.Fatalf("%s: %d bytes borrowed from a %d-byte body", what, len(b), len(body))
+	}
+	if cap(b) != len(b) {
+		t.Fatalf("%s: borrow not capacity-capped (len %d, cap %d)", what, len(b), cap(b))
+	}
+}

@@ -144,67 +144,90 @@ func (f Frame) Body() []byte {
 
 // ReadFrame reads one GIOP or MEAD frame from r. This is the read primitive
 // of the interceptors, which must see frame boundaries to filter MEAD
-// messages and fabricate replies.
+// messages and fabricate replies. The frame's Raw is freshly allocated;
+// per-connection readers use ReadFrameInto to recycle a scratch buffer.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var hb [HeaderLen]byte
-	if _, err := io.ReadFull(r, hb[:]); err != nil {
-		return Frame{}, err
+	f, _, err := ReadFrameInto(r, nil)
+	return f, err
+}
+
+// ReadFrameInto reads one frame like ReadFrame, reusing scratch as the
+// frame's backing storage when it is large enough (growing it otherwise).
+// It returns the frame and the buffer to pass to the next call. The frame
+// — including Raw, Body, and the MEAD payload — aliases that buffer and is
+// valid only until the next ReadFrameInto call with it; retain a copy, not
+// the frame. Fragmented GIOP messages take an allocating slow path so Raw
+// can hold every original wire byte.
+func ReadFrameInto(r io.Reader, scratch []byte) (Frame, []byte, error) {
+	hbp := hdrScratchPool.Get().(*[HeaderLen]byte)
+	defer hdrScratchPool.Put(hbp)
+	if _, err := io.ReadFull(r, hbp[:]); err != nil {
+		return Frame{}, scratch, err
 	}
+	hb := *hbp
 	switch string(hb[:4]) {
 	case Magic:
 		h, err := ParseHeader(hb[:])
 		if err != nil {
-			return Frame{}, err
-		}
-		raw := make([]byte, HeaderLen+int(h.Size))
-		copy(raw, hb[:])
-		if _, err := io.ReadFull(r, raw[HeaderLen:]); err != nil {
-			return Frame{}, fmt.Errorf("giop: short GIOP frame body: %w", err)
+			return Frame{}, scratch, err
 		}
 		if !h.Fragmented {
-			return Frame{Kind: FrameGIOP, Header: h, Raw: raw}, nil
-		}
-		// Reassemble the continuation fragments into one logical frame.
-		// Raw keeps every original wire byte so pass-through interceptors
-		// forward the stream unchanged; Header and Body describe the
-		// assembled logical message.
-		body := append([]byte(nil), raw[HeaderLen:]...)
-		raws := [][]byte{raw}
-		fragmented := true
-		for fragmented {
-			fh, fbody, err := readMessageRaw(r)
-			if err != nil {
-				return Frame{}, fmt.Errorf("giop: reading continuation fragment: %w", err)
+			scratch = growBytes(scratch[:0], HeaderLen+int(h.Size))
+			copy(scratch, hb[:])
+			if _, err := io.ReadFull(r, scratch[HeaderLen:]); err != nil {
+				return Frame{}, scratch, fmt.Errorf("giop: short GIOP frame body: %w", err)
 			}
-			if fh.Type != MsgFragment {
-				return Frame{}, fmt.Errorf("giop: expected Fragment, got %v", fh.Type)
-			}
-			if len(body)+len(fbody) > MaxMessageSize() {
-				return Frame{}, fmt.Errorf("%w: reassembled frame", ErrTooLarge)
-			}
-			raws = append(raws, rawFrame(fh, fbody))
-			body = append(body, fbody...)
-			fragmented = fh.Fragmented
+			return Frame{Kind: FrameGIOP, Header: h, Raw: scratch}, scratch, nil
 		}
-		h.Fragmented = false
-		h.Size = uint32(len(body))
-		var all []byte
-		for _, fr := range raws {
-			all = append(all, fr...)
-		}
-		return Frame{Kind: FrameGIOP, Header: h, Raw: all, assembled: body}, nil
+		f, err := readFragmentedFrame(r, h, hb)
+		return f, scratch, err
 	case MeadMagic:
 		t, n, err := ParseMeadHeader(hb[:])
 		if err != nil {
-			return Frame{}, err
+			return Frame{}, scratch, err
 		}
-		raw := make([]byte, MeadHeaderLen+int(n))
-		copy(raw, hb[:])
-		if _, err := io.ReadFull(r, raw[MeadHeaderLen:]); err != nil {
-			return Frame{}, fmt.Errorf("giop: short MEAD frame body: %w", err)
+		scratch = growBytes(scratch[:0], MeadHeaderLen+int(n))
+		copy(scratch, hb[:])
+		if _, err := io.ReadFull(r, scratch[MeadHeaderLen:]); err != nil {
+			return Frame{}, scratch, fmt.Errorf("giop: short MEAD frame body: %w", err)
 		}
-		return Frame{Kind: FrameMEAD, Mead: MeadMessage{Type: t, Payload: raw[MeadHeaderLen:]}, Raw: raw}, nil
+		f := Frame{Kind: FrameMEAD, Mead: MeadMessage{Type: t, Payload: scratch[MeadHeaderLen:]}, Raw: scratch}
+		return f, scratch, nil
 	default:
-		return Frame{}, fmt.Errorf("%w: % x", ErrBadMagic, hb[:4])
+		return Frame{}, scratch, fmt.Errorf("%w: % x", ErrBadMagic, hb[:4])
 	}
+}
+
+// readFragmentedFrame reassembles the continuation fragments of a message
+// whose first wire frame (header hb, already parsed as h) carried the
+// more-fragments flag. Raw keeps every original wire byte so pass-through
+// interceptors forward the stream unchanged; Header and Body describe the
+// assembled logical message.
+func readFragmentedFrame(r io.Reader, h Header, hb [HeaderLen]byte) (Frame, error) {
+	raw := make([]byte, HeaderLen+int(h.Size))
+	copy(raw, hb[:])
+	if _, err := io.ReadFull(r, raw[HeaderLen:]); err != nil {
+		return Frame{}, fmt.Errorf("giop: short GIOP frame body: %w", err)
+	}
+	body := append([]byte(nil), raw[HeaderLen:]...)
+	all := raw
+	fragmented := true
+	for fragmented {
+		fh, fbody, err := readMessageRaw(r)
+		if err != nil {
+			return Frame{}, fmt.Errorf("giop: reading continuation fragment: %w", err)
+		}
+		if fh.Type != MsgFragment {
+			return Frame{}, fmt.Errorf("giop: expected Fragment, got %v", fh.Type)
+		}
+		if len(body)+len(fbody) > MaxMessageSize() {
+			return Frame{}, fmt.Errorf("%w: reassembled frame", ErrTooLarge)
+		}
+		all = append(all, rawFrame(fh, fbody)...)
+		body = append(body, fbody...)
+		fragmented = fh.Fragmented
+	}
+	h.Fragmented = false
+	h.Size = uint32(len(body))
+	return Frame{Kind: FrameGIOP, Header: h, Raw: all, assembled: body}, nil
 }

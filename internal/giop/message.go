@@ -216,7 +216,49 @@ func WriteMessage(w io.Writer, order cdr.ByteOrder, t MsgType, body []byte) erro
 }
 
 // ReadMessage reads one logical GIOP message from r, transparently
-// reassembling GIOP 1.1 fragments.
+// reassembling GIOP 1.1 fragments. The returned body is freshly allocated
+// and owned by the caller; steady-state connection readers use
+// ReadMessagePooled instead, which recycles bodies through the buffer pool.
 func ReadMessage(r io.Reader) (Header, []byte, error) {
-	return readAssembled(r, nil)
+	h, body, err := readMessageRaw(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	for fragmented := h.Fragmented; fragmented; {
+		fh, err := readHeader(r)
+		if err != nil {
+			return Header{}, nil, fmt.Errorf("giop: reading continuation fragment: %w", err)
+		}
+		if fh.Type != MsgFragment {
+			return Header{}, nil, fmt.Errorf("giop: expected Fragment, got %v", fh.Type)
+		}
+		off := len(body)
+		if off+int(fh.Size) > MaxMessageSize() {
+			return Header{}, nil, fmt.Errorf("%w: reassembled message", ErrTooLarge)
+		}
+		body = growBytes(body, off+int(fh.Size))
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return Header{}, nil, fmt.Errorf("giop: short body for %v: %w", fh.Type, err)
+		}
+		fragmented = fh.Fragmented
+	}
+	h.Fragmented = false
+	h.Size = uint32(len(body))
+	return h, body, nil
+}
+
+// growBytes extends b to length n, reallocating geometrically so fragment
+// trains append each body directly into place instead of building and then
+// concatenating intermediate frames.
+func growBytes(b []byte, n int) []byte {
+	if n <= cap(b) {
+		return b[:n]
+	}
+	newCap := 2 * cap(b)
+	if newCap < n {
+		newCap = n
+	}
+	nb := make([]byte, n, newCap)
+	copy(nb, b)
+	return nb
 }

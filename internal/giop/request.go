@@ -41,11 +41,19 @@ func (s ReplyStatus) String() string {
 	}
 }
 
-// ServiceContext is one GIOP service-context entry.
+// ServiceContext is one GIOP service-context entry. When produced by
+// DecodeRequest/DecodeReply, Data borrows the message body (see the
+// buffer-ownership rules in docs/PROTOCOL.md §8).
 type ServiceContext struct {
 	ID   uint32
 	Data []byte
 }
+
+// interned deduplicates the hot repeated strings of the receive path —
+// operation names and exception repository ids — so steady-state decoding
+// allocates no strings. An application's distinct operation names are few;
+// the bound only guards against hostile streams.
+var interned = cdr.NewInterner(1024)
 
 // ServiceContextMead is the (vendor-range) context id this reproduction uses
 // for MEAD bookkeeping data carried inside standard GIOP messages.
@@ -73,13 +81,35 @@ func decodeServiceContexts(d *cdr.Decoder) ([]ServiceContext, error) {
 		if err != nil {
 			return nil, fmt.Errorf("giop: service context id: %w", err)
 		}
-		data, err := d.ReadOctets()
+		data, err := d.ReadOctetsBorrow()
 		if err != nil {
 			return nil, fmt.Errorf("giop: service context data: %w", err)
 		}
 		scs = append(scs, ServiceContext{ID: id, Data: data})
 	}
 	return scs, nil
+}
+
+// skipServiceContexts advances past the service-context list without
+// materializing it — the zero-alloc prefix skip behind the request-id-only
+// parses.
+func skipServiceContexts(d *cdr.Decoder) error {
+	n, err := d.ReadULong()
+	if err != nil {
+		return fmt.Errorf("giop: service context count: %w", err)
+	}
+	if n > 1024 {
+		return fmt.Errorf("giop: implausible service context count %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		if _, err := d.ReadULong(); err != nil {
+			return fmt.Errorf("giop: service context id: %w", err)
+		}
+		if _, err := d.ReadOctetsBorrow(); err != nil {
+			return fmt.Errorf("giop: service context data: %w", err)
+		}
+	}
+	return nil
 }
 
 // RequestHeader is the GIOP 1.0 Request message header.
@@ -111,31 +141,45 @@ func EncodeRequest(order cdr.ByteOrder, hdr RequestHeader, writeArgs func(*cdr.E
 	return finishMessage(e, order, MsgRequest)
 }
 
-// DecodeRequest parses a Request body (as returned by ReadMessage), yielding
-// the header and a decoder positioned at the operation arguments.
+// DecodeRequest parses a Request body (as returned by ReadMessage or
+// ReadMessagePooled), yielding the header and a decoder positioned at the
+// operation arguments.
+//
+// The decode is zero-copy: ObjectKey, Principal, and service-context Data
+// borrow body, and Operation is an interned string. Header slices (and the
+// argument decoder's stream) are valid only as long as body; copy them to
+// retain past its release. The returned decoder is pooled — hot paths give
+// it back with Release once the arguments are consumed.
 func DecodeRequest(order cdr.ByteOrder, body []byte) (RequestHeader, *cdr.Decoder, error) {
-	d := cdr.NewDecoder(body, order)
+	d := cdr.GetDecoder(body, order)
 	var hdr RequestHeader
 	var err error
 	if hdr.ServiceContexts, err = decodeServiceContexts(d); err != nil {
+		d.Release()
 		return hdr, nil, err
 	}
 	if hdr.RequestID, err = d.ReadULong(); err != nil {
+		d.Release()
 		return hdr, nil, fmt.Errorf("giop: request id: %w", err)
 	}
 	if hdr.ResponseExpected, err = d.ReadBool(); err != nil {
+		d.Release()
 		return hdr, nil, fmt.Errorf("giop: response_expected: %w", err)
 	}
-	if hdr.ObjectKey, err = d.ReadOctets(); err != nil {
+	if hdr.ObjectKey, err = d.ReadOctetsBorrow(); err != nil {
+		d.Release()
 		return hdr, nil, fmt.Errorf("giop: object key: %w", err)
 	}
-	if hdr.Operation, err = d.ReadString(); err != nil {
+	if hdr.Operation, err = d.ReadStringIntern(interned); err != nil {
+		d.Release()
 		return hdr, nil, fmt.Errorf("giop: operation: %w", err)
 	}
-	if hdr.Principal, err = d.ReadOctets(); err != nil {
+	if hdr.Principal, err = d.ReadOctetsBorrow(); err != nil {
+		d.Release()
 		return hdr, nil, fmt.Errorf("giop: principal: %w", err)
 	}
-	return hdr, cdr.NewDecoder(d.Rest(), order), nil
+	d.Rebase() // the arguments form their own alignment origin
+	return hdr, d, nil
 }
 
 // RequestIDOf extracts just the request_id from a Request body — the
@@ -143,8 +187,9 @@ func DecodeRequest(order cdr.ByteOrder, body []byte) (RequestHeader, *cdr.Decode
 // outbound requests (it does not need object keys, hence its much lower
 // overhead than the LOCATION_FORWARD scheme's full parse).
 func RequestIDOf(order cdr.ByteOrder, body []byte) (uint32, error) {
-	d := cdr.NewDecoder(body, order)
-	if _, err := decodeServiceContexts(d); err != nil {
+	d := cdr.GetDecoder(body, order)
+	defer d.Release()
+	if err := skipServiceContexts(d); err != nil {
 		return 0, err
 	}
 	id, err := d.ReadULong()
@@ -158,8 +203,9 @@ func RequestIDOf(order cdr.ByteOrder, body []byte) (uint32, error) {
 // parse the multiplexed client transport performs to demultiplex
 // interleaved replies to their waiting callers.
 func ReplyIDOf(order cdr.ByteOrder, body []byte) (uint32, error) {
-	d := cdr.NewDecoder(body, order)
-	if _, err := decodeServiceContexts(d); err != nil {
+	d := cdr.GetDecoder(body, order)
+	defer d.Release()
+	if err := skipServiceContexts(d); err != nil {
 		return 0, err
 	}
 	id, err := d.ReadULong()
@@ -192,26 +238,33 @@ func EncodeReply(order cdr.ByteOrder, hdr ReplyHeader, writeBody func(*cdr.Encod
 }
 
 // DecodeReply parses a Reply body, yielding the header and a decoder
-// positioned at the status-specific body.
+// positioned at the status-specific body. Like DecodeRequest it is
+// zero-copy: service-context Data borrows body, and the returned decoder is
+// pooled (Release it on hot paths once the body is consumed).
 func DecodeReply(order cdr.ByteOrder, body []byte) (ReplyHeader, *cdr.Decoder, error) {
-	d := cdr.NewDecoder(body, order)
+	d := cdr.GetDecoder(body, order)
 	var hdr ReplyHeader
 	var err error
 	if hdr.ServiceContexts, err = decodeServiceContexts(d); err != nil {
+		d.Release()
 		return hdr, nil, err
 	}
 	if hdr.RequestID, err = d.ReadULong(); err != nil {
+		d.Release()
 		return hdr, nil, fmt.Errorf("giop: reply request id: %w", err)
 	}
 	status, err := d.ReadULong()
 	if err != nil {
+		d.Release()
 		return hdr, nil, fmt.Errorf("giop: reply status: %w", err)
 	}
 	if status > uint32(ReplyNeedsAddressingMode) {
+		d.Release()
 		return hdr, nil, fmt.Errorf("giop: unknown reply status %d", status)
 	}
 	hdr.Status = ReplyStatus(status)
-	return hdr, cdr.NewDecoder(d.Rest(), order), nil
+	d.Rebase() // the status-specific body forms its own alignment origin
+	return hdr, d, nil
 }
 
 // CompletionStatus mirrors CORBA::CompletionStatus.
@@ -290,9 +343,10 @@ func EncodeSystemException(e *cdr.Encoder, se *SystemException) {
 	e.WriteULong(uint32(se.Completed))
 }
 
-// DecodeSystemException reads a standard exception body.
+// DecodeSystemException reads a standard exception body. The repository id
+// is interned, so repeated exceptions of one kind share a single string.
 func DecodeSystemException(d *cdr.Decoder) (*SystemException, error) {
-	repo, err := d.ReadString()
+	repo, err := d.ReadStringIntern(interned)
 	if err != nil {
 		return nil, fmt.Errorf("giop: exception repo id: %w", err)
 	}

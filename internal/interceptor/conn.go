@@ -40,7 +40,9 @@ type Hooks struct {
 	// OnReadFrame observes each whole inbound frame (GIOP or MEAD) and
 	// returns the bytes to surface to the ORB: f.Raw to pass it through,
 	// nil to consume it silently, or substitute bytes (which must
-	// themselves be whole frames).
+	// themselves be whole frames). The frame aliases a per-connection
+	// buffer that is recycled after the hook returns; retain copies, not
+	// f.Raw/f.Body slices.
 	OnReadFrame func(c *Conn, f giop.Frame) ([]byte, error)
 	// OnWriteFrame observes each whole outbound frame and returns the
 	// bytes to put on the wire: f.Raw to pass through, a replacement, or a
@@ -80,6 +82,12 @@ type Conn struct {
 	src     *bufio.Reader
 	srcConn net.Conn // transport src currently wraps
 	carry   []byte   // read-ahead preserved across SwapUnder
+
+	// frameBuf is the reusable backing array for inbound frames
+	// (giop.ReadFrameInto); each frame is copied into readBuf before the
+	// next read, so recycling it is safe as long as hooks do not retain
+	// f.Raw past their return (documented on Hooks).
+	frameBuf []byte
 }
 
 var _ net.Conn = (*Conn)(nil)
@@ -168,7 +176,8 @@ func (c *Conn) Read(p []byte) (int, error) {
 		if c.isClosed() {
 			return 0, net.ErrClosed
 		}
-		f, err := giop.ReadFrame(srcReader{c})
+		f, fb, err := giop.ReadFrameInto(srcReader{c}, c.frameBuf)
+		c.frameBuf = fb
 		if err != nil {
 			if c.isClosed() {
 				return 0, err

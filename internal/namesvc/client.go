@@ -15,6 +15,12 @@ import (
 func writeFrame(w io.Writer, payload []byte) error { return frame.Write(w, payload) }
 func readFrame(r io.Reader) ([]byte, error)        { return frame.Read(r) }
 
+// readFrameInto is the buffer-recycling variant used by the server's
+// receive loop (which copies every field it keeps out of the frame).
+func readFrameInto(r io.Reader, buf []byte) (payload, next []byte, err error) {
+	return frame.ReadInto(r, buf)
+}
+
 // Client talks to the naming service. Each call opens its own connection,
 // as a CORBA client resolving through a remote Naming Service would; the
 // connection cost is part of the reactive schemes' re-resolution spike that

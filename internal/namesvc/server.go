@@ -178,9 +178,14 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	// One reusable frame buffer serves the whole loop: handle() copies every
+	// field it keeps (names, IOR strings) out of the frame.
+	var buf []byte
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
-		frame, err := readFrame(conn)
+		var frame []byte
+		var err error
+		frame, buf, err = readFrameInto(conn, buf)
 		if err != nil {
 			return
 		}

@@ -91,11 +91,13 @@ func (p *connPool) activeConns() int {
 }
 
 // muxReply is one demultiplexed answer (Reply or LocateReply) delivered to
-// the caller that issued the matching request id.
+// the caller that issued the matching request id. The receiving caller takes
+// ownership of mb (the pooled buffer holding the message body) and must
+// Release it.
 type muxReply struct {
-	hdr  giop.Header
-	body []byte
-	err  error
+	hdr giop.Header
+	mb  *giop.MsgBuf
+	err error
 }
 
 // muxConn is one shared connection with a demultiplexing reader goroutine.
@@ -141,7 +143,7 @@ func (m *muxConn) dial() {
 // roundTrip allocates a request id, renders the message via build, writes
 // it, and blocks until the demultiplexer delivers the matching reply or the
 // connection dies. Any number of callers may be in roundTrip concurrently.
-func (m *muxConn) roundTrip(build func(reqID uint32) []byte) (giop.Header, []byte, error) {
+func (m *muxConn) roundTrip(build func(reqID uint32) []byte) (giop.Header, *giop.MsgBuf, error) {
 	m.mu.Lock()
 	if m.closed {
 		err := m.err
@@ -160,7 +162,7 @@ func (m *muxConn) roundTrip(build func(reqID uint32) []byte) (giop.Header, []byt
 		m.fail(giop.CommFailure(10, giop.CompletedMaybe))
 	}
 	r := <-ch
-	return r.hdr, r.body, r.err
+	return r.hdr, r.mb, r.err
 }
 
 // send writes a request that expects no reply (oneway). The id is still
@@ -197,33 +199,38 @@ func (m *muxConn) write(msg []byte) error {
 func (m *muxConn) readLoop() {
 	rd := bufio.NewReaderSize(m.conn, connReadBufSize)
 	for {
-		h, body, err := giop.ReadMessage(rd)
+		h, mb, err := giop.ReadMessagePooled(rd)
 		if err != nil {
 			m.fail(giop.CommFailure(12, giop.CompletedMaybe))
 			return
 		}
 		switch h.Type {
 		case giop.MsgReply:
-			id, err := giop.ReplyIDOf(h.Order, body)
+			id, err := giop.ReplyIDOf(h.Order, mb.Bytes())
 			if err != nil {
+				mb.Release()
 				m.fail(&giop.SystemException{RepoID: giop.RepoInternal, Minor: 20, Completed: giop.CompletedMaybe})
 				return
 			}
-			m.deliver(id, muxReply{hdr: h, body: body})
+			m.deliver(id, muxReply{hdr: h, mb: mb})
 		case giop.MsgLocateReply:
-			d := cdr.NewDecoder(body, h.Order)
+			d := cdr.GetDecoder(mb.Bytes(), h.Order)
 			id, err := d.ReadULong()
+			d.Release()
 			if err != nil {
+				mb.Release()
 				m.fail(&giop.SystemException{RepoID: giop.RepoInternal, Minor: 20, Completed: giop.CompletedMaybe})
 				return
 			}
-			m.deliver(id, muxReply{hdr: h, body: body})
+			m.deliver(id, muxReply{hdr: h, mb: mb})
 		case giop.MsgCloseConnection:
+			mb.Release()
 			m.fail(giop.CommFailure(13, giop.CompletedNo))
 			return
 		default:
 			// MessageError (or anything else) means the peer rejected our
 			// stream; nothing sensible can follow.
+			mb.Release()
 			m.fail(&giop.SystemException{RepoID: giop.RepoInternal, Minor: 22, Completed: giop.CompletedMaybe})
 			return
 		}
@@ -231,7 +238,8 @@ func (m *muxConn) readLoop() {
 }
 
 // deliver hands the reply to the waiting caller, if any. Replies to unknown
-// ids (e.g. a request that already failed) are dropped.
+// ids (e.g. a request that already failed) are dropped — and their pooled
+// buffer recycled here, since no caller will ever Release it.
 func (m *muxConn) deliver(id uint32, r muxReply) {
 	m.mu.Lock()
 	ch := m.pending[id]
@@ -239,7 +247,9 @@ func (m *muxConn) deliver(id uint32, r muxReply) {
 	m.mu.Unlock()
 	if ch != nil {
 		ch <- r
+		return
 	}
+	r.mb.Release()
 }
 
 // invokePooled is Invoke over the shared multiplexed transport. It holds no
@@ -267,7 +277,7 @@ func (o *ObjectRef) invokePooled(op string, writeArgs func(*cdr.Encoder), readRe
 		if err != nil {
 			return err
 		}
-		hdr, body, err := mc.roundTrip(func(reqID uint32) []byte {
+		hdr, mb, err := mc.roundTrip(func(reqID uint32) []byte {
 			return giop.EncodeRequest(o.orb.order, giop.RequestHeader{
 				RequestID:        reqID,
 				ResponseExpected: true,
@@ -278,38 +288,52 @@ func (o *ObjectRef) invokePooled(op string, writeArgs func(*cdr.Encoder), readRe
 		if err != nil {
 			return err
 		}
+		// roundTrip handed us ownership of mb; rh and d borrow it, so every
+		// exit below releases both before returning (or retransmitting).
 		if hdr.Type != giop.MsgReply {
+			mb.Release()
 			return &giop.SystemException{RepoID: giop.RepoInternal, Minor: 22, Completed: giop.CompletedMaybe}
 		}
-		rh, d, err := giop.DecodeReply(hdr.Order, body)
+		rh, d, err := giop.DecodeReply(hdr.Order, mb.Bytes())
 		if err != nil {
+			mb.Release()
 			return fmt.Errorf("orb: corrupt reply: %w", err)
 		}
 
 		switch rh.Status {
 		case giop.ReplyNoException:
+			var rerr error
 			if readResult != nil {
-				if err := readResult(d); err != nil {
-					return fmt.Errorf("orb: decode result of %q: %w", op, err)
-				}
+				rerr = readResult(d)
+			}
+			d.Release()
+			mb.Release()
+			if rerr != nil {
+				return fmt.Errorf("orb: decode result of %q: %w", op, rerr)
 			}
 			return nil
 		case giop.ReplyUserException:
-			repo, err := d.ReadString()
-			if err != nil {
-				return fmt.Errorf("orb: corrupt user exception: %w", err)
+			repo, rerr := d.ReadString()
+			d.Release()
+			mb.Release()
+			if rerr != nil {
+				return fmt.Errorf("orb: corrupt user exception: %w", rerr)
 			}
 			return &UserException{RepoID: repo}
 		case giop.ReplySystemException:
-			se, err := giop.DecodeSystemException(d)
-			if err != nil {
-				return fmt.Errorf("orb: corrupt system exception: %w", err)
+			se, rerr := giop.DecodeSystemException(d)
+			d.Release()
+			mb.Release()
+			if rerr != nil {
+				return fmt.Errorf("orb: corrupt system exception: %w", rerr)
 			}
 			return se
 		case giop.ReplyLocationForward, giop.ReplyLocationForwardPerm:
-			fwd, err := giop.DecodeIOR(d)
-			if err != nil {
-				return fmt.Errorf("orb: corrupt LOCATION_FORWARD body: %w", err)
+			fwd, rerr := giop.DecodeIOR(d)
+			d.Release()
+			mb.Release()
+			if rerr != nil {
+				return fmt.Errorf("orb: corrupt LOCATION_FORWARD body: %w", rerr)
 			}
 			ior = fwd
 			o.mu.Lock()
@@ -318,11 +342,15 @@ func (o *ObjectRef) invokePooled(op string, writeArgs func(*cdr.Encoder), readRe
 			o.mu.Unlock()
 			continue
 		case giop.ReplyNeedsAddressingMode:
+			d.Release()
+			mb.Release()
 			o.mu.Lock()
 			o.stats.Retransmissions++
 			o.mu.Unlock()
 			continue
 		default:
+			d.Release()
+			mb.Release()
 			return &giop.SystemException{RepoID: giop.RepoInternal, Minor: 21, Completed: giop.CompletedMaybe}
 		}
 	}
@@ -377,7 +405,7 @@ func (o *ObjectRef) locatePooled() (giop.LocateStatus, error) {
 	if err != nil {
 		return 0, err
 	}
-	hdr, body, err := mc.roundTrip(func(reqID uint32) []byte {
+	hdr, mb, err := mc.roundTrip(func(reqID uint32) []byte {
 		return giop.EncodeLocateRequest(o.orb.order, giop.LocateRequestHeader{
 			RequestID: reqID,
 			ObjectKey: prof.ObjectKey,
@@ -387,9 +415,11 @@ func (o *ObjectRef) locatePooled() (giop.LocateStatus, error) {
 		return 0, giop.CommFailure(16, giop.CompletedMaybe)
 	}
 	if hdr.Type != giop.MsgLocateReply {
+		mb.Release()
 		return 0, &giop.SystemException{RepoID: giop.RepoInternal, Minor: 23, Completed: giop.CompletedMaybe}
 	}
-	lh, fwd, err := giop.DecodeLocateReply(hdr.Order, body)
+	lh, fwd, err := giop.DecodeLocateReply(hdr.Order, mb.Bytes())
+	mb.Release() // lh and fwd are fully copied out of the body
 	if err != nil {
 		return 0, fmt.Errorf("orb: corrupt locate reply: %w", err)
 	}

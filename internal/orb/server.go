@@ -259,17 +259,22 @@ func (s *ServerORB) serveConn(conn net.Conn) {
 	// Replies are serialized through cw: GIOP allows interleaved replies
 	// in any order (clients demultiplex by request id), but each reply's
 	// frames must stay contiguous on the wire.
+	//
+	// Message bodies come from the pooled-buffer read path; the dispatch
+	// goroutine owns each request's buffer (the decoded header and argument
+	// stream borrow it) and releases it after the reply is written.
 	rd := bufio.NewReaderSize(conn, connReadBufSize)
 	cw := newConnWriter(conn)
 	for {
-		h, body, err := giop.ReadMessage(rd)
+		h, mb, err := giop.ReadMessagePooled(rd)
 		if err != nil {
 			return
 		}
 		switch h.Type {
 		case giop.MsgRequest:
-			hdr, args, err := giop.DecodeRequest(h.Order, body)
+			hdr, args, err := giop.DecodeRequest(h.Order, mb.Bytes())
 			if err != nil {
+				mb.Release()
 				_ = cw.writeMessage(giop.EncodeMessage(s.order, giop.MsgMessageError, nil), 0)
 				return
 			}
@@ -278,18 +283,23 @@ func (s *ServerORB) serveConn(conn net.Conn) {
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
-				s.dispatchRequest(conn, cw, hdr, args)
+				s.dispatchRequest(conn, cw, hdr, args, mb)
 			}()
 		case giop.MsgCloseConnection:
+			mb.Release()
 			return
 		case giop.MsgLocateRequest:
-			if err := s.handleLocate(cw, h, body); err != nil {
+			err := s.handleLocate(cw, h, mb.Bytes())
+			mb.Release()
+			if err != nil {
 				return
 			}
 		case giop.MsgCancelRequest:
 			// Accepted and ignored, as the specification permits: the reply
 			// (if any) for the cancelled request is simply still delivered.
+			mb.Release()
 		default:
+			mb.Release()
 			_ = cw.writeMessage(giop.EncodeMessage(s.order, giop.MsgMessageError, nil), 0)
 			return
 		}
@@ -320,9 +330,12 @@ func (s *ServerORB) handleLocate(cw *connWriter, h giop.Header, body []byte) err
 
 // dispatchRequest invokes the servant for one decoded Request and writes its
 // reply (through the connection's batching writer). It runs on a per-request
-// goroutine; a write failure tears the connection down, which unblocks the
-// reader.
-func (s *ServerORB) dispatchRequest(conn net.Conn, cw *connWriter, hdr giop.RequestHeader, args *cdr.Decoder) {
+// goroutine and owns mb, the pooled buffer backing hdr and args; both die
+// when it returns. A write failure tears the connection down, which unblocks
+// the reader.
+func (s *ServerORB) dispatchRequest(conn net.Conn, cw *connWriter, hdr giop.RequestHeader, args *cdr.Decoder, mb *giop.MsgBuf) {
+	defer mb.Release()
+	defer args.Release()
 	s.mu.Lock()
 	servant := s.servants[string(hdr.ObjectKey)]
 	s.mu.Unlock()
