@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build test bench-smoke bench fuzz-smoke
+.PHONY: check fmt-check vet build test bench-smoke bench fuzz-smoke chaos-smoke
 
 ## check: the full verification gate — formatting, static analysis, build,
 ## race-enabled tests, and a one-iteration smoke pass over every benchmark
@@ -22,6 +22,13 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+## chaos-smoke: the deterministic network-chaos suite — the netfault
+## injector's own tests plus the {scheme × fault-plan} conformance matrix
+## and the same-seed determinism check, all race-enabled.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'Chaos|Cut|Blackhole|Partition|Duplicate|ShortWrites|Latency|Seeded|Determin|Table1' \
+		./internal/netfault/ ./internal/experiment/
 
 ## bench-smoke: run every benchmark once. Catches bit-rot in the benchmark
 ## harnesses (including the alloc-guarded GIOP/CDR micro-benches and the

@@ -9,6 +9,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"net"
 	"time"
 
 	"mead/internal/cdr"
@@ -73,6 +74,11 @@ type Config struct {
 	// MaxAttempts bounds recovery retries within one logical invocation
 	// (default 8).
 	MaxAttempts int
+	// Dial opens every transport connection this strategy makes — ORB
+	// connections, interceptor redirection dials, and the GCS member link.
+	// The chaos harness substitutes netfault's injecting dialer; nil means
+	// net.DialTimeout.
+	Dial orb.DialFunc
 	// SharedPool switches the client ORB onto the shared multiplexed
 	// transport (one connection per replica address, concurrent in-flight
 	// requests demultiplexed by request id). Supported for the reactive
@@ -100,6 +106,9 @@ func New(cfg Config) (Strategy, error) {
 		names: namesvc.NewClient(cfg.NamesAddr),
 	}
 	baseOpts := []orb.ClientOption{orb.WithDialTimeout(cfg.DialTimeout)}
+	if cfg.Dial != nil {
+		baseOpts = append(baseOpts, orb.WithDialer(cfg.Dial))
+	}
 	if cfg.SharedPool {
 		switch cfg.Scheme {
 		case ftmgr.ReactiveNoCache, ftmgr.ReactiveCache, ftmgr.LocationForward:
@@ -122,14 +131,13 @@ func New(cfg Config) (Strategy, error) {
 		cm, err := ftmgr.NewClientManager(ftmgr.ClientConfig{
 			Scheme:      ftmgr.MeadMessage,
 			DialTimeout: cfg.DialTimeout,
+			Dial:        ftmgr.DialFunc(cfg.Dial),
 		})
 		if err != nil {
 			return nil, err
 		}
-		base.orb = orb.NewClient(
-			orb.WithDialTimeout(cfg.DialTimeout),
-			orb.WithClientConnWrapper(cm.WrapClientConn),
-		)
+		base.orb = orb.NewClient(append(baseOpts,
+			orb.WithClientConnWrapper(cm.WrapClientConn))...)
 		return &proactive{base: base, scheme: ftmgr.MeadMessage, cm: cm}, nil
 	case ftmgr.NeedsAddressing:
 		if cfg.HubAddr == "" {
@@ -139,7 +147,11 @@ func New(cfg Config) (Strategy, error) {
 		if name == "" {
 			name = fmt.Sprintf("client-%d", time.Now().UnixNano())
 		}
-		member, err := gcs.Dial(cfg.HubAddr, name)
+		memberDial := gcs.DialFunc(cfg.Dial)
+		if memberDial == nil {
+			memberDial = net.DialTimeout
+		}
+		member, err := gcs.DialWith(memberDial, cfg.HubAddr, name)
 		if err != nil {
 			return nil, err
 		}
@@ -149,15 +161,14 @@ func New(cfg Config) (Strategy, error) {
 			Group:        cfg.group(),
 			QueryTimeout: cfg.QueryTimeout,
 			DialTimeout:  cfg.DialTimeout,
+			Dial:         ftmgr.DialFunc(cfg.Dial),
 		})
 		if err != nil {
 			_ = member.Close()
 			return nil, err
 		}
-		base.orb = orb.NewClient(
-			orb.WithDialTimeout(cfg.DialTimeout),
-			orb.WithClientConnWrapper(cm.WrapClientConn),
-		)
+		base.orb = orb.NewClient(append(baseOpts,
+			orb.WithClientConnWrapper(cm.WrapClientConn))...)
 		return &proactive{base: base, scheme: ftmgr.NeedsAddressing, cm: cm, member: member}, nil
 	default:
 		return nil, fmt.Errorf("client: unknown scheme %v", cfg.Scheme)

@@ -1,0 +1,325 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mead/internal/ftmgr"
+	"mead/internal/netfault"
+)
+
+// chaosScenario is the compressed deployment the chaos matrix runs under:
+// no memory-leak fault (the wire is the only adversary), one serialized
+// client so the netfault request clock maps 1:1 onto invocation ordinals,
+// and a generous NEEDS_ADDRESSING query window (loopback GCS answers in
+// microseconds; the window under test is the wire, not the query race).
+func chaosScenario(scheme ftmgr.Scheme, plan netfault.Plan) Scenario {
+	return Scenario{
+		Scheme:          scheme,
+		Invocations:     100,
+		Period:          200 * time.Microsecond,
+		InjectFault:     false,
+		RestartDelay:    20 * time.Millisecond,
+		ProactiveDelay:  5 * time.Millisecond,
+		CheckpointEvery: 5 * time.Millisecond,
+		QueryTimeout:    50 * time.Millisecond,
+		Seed:            42,
+		Chaos:           plan,
+	}
+}
+
+// chaosOutcome is what one scheme×plan run is judged on.
+type chaosOutcome struct {
+	res    *Result
+	served uint64
+	inj    *netfault.Injector
+}
+
+func runChaos(t *testing.T, sc Scenario) chaosOutcome {
+	t.Helper()
+	d, err := NewDeployment(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	res, err := d.Drive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chaosOutcome{res: res, served: d.ServedRequests(), inj: d.Chaos()}
+}
+
+// chaosPlan is one row of the conformance matrix.
+type chaosPlan struct {
+	name string
+	plan netfault.Plan
+	// destructive plans kill connections or swallow requests: the
+	// interceptor schemes must mask them; schemes without a client
+	// interceptor surface COMM_FAILURE/TRANSIENT and recover reactively.
+	destructive bool
+	// replyLoss names the events that lose an already-executed request's
+	// reply; each may cause one COMPLETED_MAYBE re-execution.
+	replyLoss []string
+	// unreachable marks plans that cut the client off from the recovery
+	// target itself (the hard partition): no client-side scheme can mask
+	// those, so only convergence is asserted.
+	unreachable bool
+}
+
+func chaosPlans() []chaosPlan {
+	return []chaosPlan{
+		{
+			name: "latency-jitter",
+			plan: netfault.Plan{
+				{Name: "lat", Kind: netfault.Latency, At: 20, For: 20,
+					Latency: time.Millisecond, Jitter: time.Millisecond},
+			},
+		},
+		{
+			name: "short-writes",
+			plan: netfault.Plan{
+				{Name: "seg", Kind: netfault.ShortWrites, At: 0, For: -1, SegmentBytes: 7},
+			},
+		},
+		{
+			name: "duplicate-reply",
+			plan: netfault.Plan{
+				{Name: "dup", Kind: netfault.DuplicateReply, At: 25},
+				{Name: "dup", Kind: netfault.DuplicateReply, At: 60},
+			},
+		},
+		{
+			name: "cut-request-mid-frame",
+			plan: netfault.Plan{
+				{Name: "cut", Kind: netfault.CutRequestMidFrame, At: 30},
+				{Name: "cut", Kind: netfault.CutRequestMidFrame, At: 70},
+			},
+			destructive: true,
+		},
+		{
+			name: "cut-after-request",
+			plan: netfault.Plan{
+				{Name: "cut", Kind: netfault.CutAfterRequest, At: 30},
+				{Name: "cut", Kind: netfault.CutAfterRequest, At: 70},
+			},
+			destructive: true,
+			replyLoss:   []string{"cut"},
+		},
+		{
+			name: "cut-reply-mid-frame",
+			plan: netfault.Plan{
+				{Name: "tear", Kind: netfault.CutReplyMidFrame, At: 40},
+			},
+			destructive: true,
+			replyLoss:   []string{"tear"},
+		},
+		{
+			name: "blackhole",
+			plan: netfault.Plan{
+				{Name: "hole", Kind: netfault.Blackhole, At: 40, Hold: 25 * time.Millisecond},
+			},
+			destructive: true,
+		},
+		{
+			name: "partition-transient",
+			// Heal < Hold: by the time the stalled connection dies, the
+			// address accepts dials again, so interceptor recovery works.
+			plan: netfault.Plan{
+				{Name: "part", Kind: netfault.Partition, At: 40,
+					Hold: 25 * time.Millisecond, Heal: 15 * time.Millisecond},
+			},
+			destructive: true,
+		},
+		{
+			name: "partition-hard",
+			// Heal far beyond Hold: the primary stays unreachable through
+			// every recovery attempt; the only way out is another replica.
+			plan: netfault.Plan{
+				{Name: "part", Kind: netfault.Partition, At: 40,
+					Hold: 15 * time.Millisecond, Heal: 2 * time.Second},
+			},
+			destructive: true,
+			unreachable: true,
+		},
+	}
+}
+
+// maskingSchemes have a client-side interceptor that can repair the
+// transport underneath the unmodified ORB (Sections 4.2 and 4.3). The
+// LOCATION_FORWARD scheme deliberately has no client interceptor, so wire
+// faults reach it like a reactive scheme and its reactive fallback recovers.
+func masksWireFaults(s ftmgr.Scheme) bool {
+	return s == ftmgr.NeedsAddressing || s == ftmgr.MeadMessage
+}
+
+// TestChaosMatrix is the chaos conformance suite: every recovery scheme
+// crossed with every fault plan, asserting the paper's Table 1 invariants
+// under adversarial wire conditions.
+func TestChaosMatrix(t *testing.T) {
+	for _, scheme := range ftmgr.Schemes() {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			for _, pc := range chaosPlans() {
+				pc := pc
+				t.Run(pc.name, func(t *testing.T) {
+					out := runChaos(t, chaosScenario(scheme, pc.plan))
+					res, inv := out.res, out.res.Invocations
+
+					// Convergence: every scheme finishes the workload.
+					if res.FailedInvocations != 0 {
+						t.Errorf("%d invocations never succeeded", res.FailedInvocations)
+					}
+
+					// Only the paper's exception kinds may surface.
+					for name := range res.Exceptions {
+						if name != "COMM_FAILURE" && name != "TRANSIENT" {
+							t.Errorf("unexpected exception kind %s (%v)", name, res.Exceptions)
+						}
+					}
+
+					fired := out.inj.FiredTotal("cut", "tear", "hole", "part")
+					switch {
+					case !pc.destructive:
+						// Non-destructive wire conditions are invisible to
+						// every scheme, proactive or reactive.
+						if got := res.ClientFailures(); got != 0 {
+							t.Errorf("non-destructive plan leaked %d exceptions: %v", got, res.Exceptions)
+						}
+					case pc.unreachable:
+						// Nothing to assert on exception counts: the
+						// recovery target itself is gone; convergence and
+						// at-most-once (below) are the invariants.
+						if fired == 0 {
+							t.Error("hard partition never fired")
+						}
+					case masksWireFaults(scheme):
+						// The headline invariant: interceptor schemes mask
+						// every destructive fault whose recovery target
+						// stays reachable — zero app-visible exceptions.
+						if got := res.ClientFailures(); got != 0 {
+							t.Errorf("interceptor scheme leaked %d exceptions: %v", got, res.Exceptions)
+						}
+						if fired == 0 {
+							t.Error("destructive plan never fired")
+						}
+					default:
+						// Reactive baselines and LOCATION_FORWARD (no client
+						// interceptor) surface each destructive event as one
+						// application-visible exception, then recover.
+						got := res.ClientFailures()
+						if got < 1 || got > 3*fired {
+							t.Errorf("exceptions = %d for %d fired events: %v", got, fired, res.Exceptions)
+						}
+					}
+
+					// At-most-once: requests executed server-side may exceed
+					// client successes only by the reply-loss events (CORBA
+					// COMPLETED_MAYBE); everything else is exactly-once.
+					successes := uint64(inv - res.FailedInvocations)
+					replyLoss := uint64(out.inj.FiredTotal(pc.replyLoss...))
+					if len(pc.replyLoss) == 0 && out.served != successes {
+						t.Errorf("served = %d, want exactly-once = %d", out.served, successes)
+					}
+					if out.served < successes || out.served > successes+replyLoss {
+						t.Errorf("served = %d outside at-most-once bound [%d, %d]",
+							out.served, successes, successes+replyLoss)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestChaosDeterminismSameSeed runs the same chaotic scenario twice from
+// one seed and asserts the observable outcome series are identical: which
+// invocations failed over, every exception count, the fired-event log and
+// the server-side execution count. (RTTs are wall-clock and excluded.)
+func TestChaosDeterminismSameSeed(t *testing.T) {
+	plan := netfault.Plan{
+		{Name: "lat", Kind: netfault.Latency, At: 10, For: 15,
+			Latency: 500 * time.Microsecond, Jitter: time.Millisecond},
+		{Name: "dup", Kind: netfault.DuplicateReply, At: 25},
+		{Name: "cut", Kind: netfault.CutRequestMidFrame, At: 30},
+		{Name: "cut", Kind: netfault.CutAfterRequest, At: 70},
+	}
+	for _, scheme := range []ftmgr.Scheme{ftmgr.ReactiveNoCache, ftmgr.MeadMessage} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			type fingerprint struct {
+				Exceptions map[string]int
+				Failed     int
+				Failovers  []int
+				Served     uint64
+				Fired      map[string]int
+			}
+			take := func() fingerprint {
+				out := runChaos(t, chaosScenario(scheme, plan))
+				fps := fingerprint{
+					Exceptions: out.res.Exceptions,
+					Failed:     out.res.FailedInvocations,
+					Served:     out.served,
+					Fired:      out.inj.FiredAll(),
+				}
+				for _, f := range out.res.Failovers {
+					fps.Failovers = append(fps.Failovers, f.Index)
+				}
+				return fps
+			}
+			a, b := take(), take()
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("same seed diverged:\n run 1: %+v\n run 2: %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestTable1Conformance locks in the clean (no chaos) baseline per scheme:
+// the paper's Table 1 invariants as one table-driven test, run before the
+// chaos matrix is allowed to mean anything.
+func TestTable1Conformance(t *testing.T) {
+	cases := []struct {
+		scheme ftmgr.Scheme
+		// masked: the scheme's recovery is invisible to the application.
+		masked bool
+	}{
+		{ftmgr.ReactiveNoCache, false},
+		{ftmgr.ReactiveCache, false},
+		{ftmgr.NeedsAddressing, true}, // loopback GCS: the query always wins its window
+		{ftmgr.LocationForward, true},
+		{ftmgr.MeadMessage, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.scheme.String(), func(t *testing.T) {
+			res := run(t, compressed(tc.scheme))
+			if res.ServerFailures == 0 {
+				t.Fatal("fault injection produced no server failures")
+			}
+			if len(res.Failovers) == 0 {
+				t.Error("no fail-overs recorded")
+			}
+			if res.FailedInvocations > res.Invocations/10 {
+				t.Errorf("%d invocations never succeeded", res.FailedInvocations)
+			}
+			for name := range res.Exceptions {
+				if name != "COMM_FAILURE" && name != "TRANSIENT" {
+					t.Errorf("unexpected exception kind %s", name)
+				}
+			}
+			cf, sf := res.ClientFailures(), res.ServerFailures
+			if tc.masked && cf != 0 {
+				t.Errorf("proactive scheme leaked %d exceptions: %v", cf, res.Exceptions)
+			}
+			if !tc.masked {
+				if cf == 0 {
+					t.Error("reactive baseline surfaced no exceptions")
+				}
+				// Roughly one client-visible failure per server failure.
+				if cf < sf/2 || cf > 2*sf+2 {
+					t.Errorf("client/server failures = %d/%d, want roughly 1:1", cf, sf)
+				}
+			}
+		})
+	}
+}

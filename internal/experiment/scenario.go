@@ -18,6 +18,8 @@ import (
 	"mead/internal/ftmgr"
 	"mead/internal/gcs"
 	"mead/internal/namesvc"
+	"mead/internal/netfault"
+	"mead/internal/orb"
 	"mead/internal/recovery"
 	"mead/internal/replica"
 )
@@ -83,6 +85,11 @@ type Scenario struct {
 	GCSJitter time.Duration
 	// Seed makes fault injection reproducible.
 	Seed int64
+	// Chaos schedules deterministic wire faults (netfault events keyed on
+	// the global invocation count) under the client's transport. Empty
+	// means a clean wire. The injector is seeded from Seed, so one seed
+	// reproduces the whole run: leak faults, GCS jitter and wire chaos.
+	Chaos netfault.Plan
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -197,6 +204,7 @@ type Deployment struct {
 	rm    *recovery.Manager
 
 	svcCfg replica.ServiceConfig
+	chaos  *netfault.Injector // nil on a clean wire
 
 	mu       sync.Mutex
 	replicas []*replica.Replica
@@ -207,6 +215,15 @@ type Deployment struct {
 func NewDeployment(sc Scenario) (*Deployment, error) {
 	sc = sc.withDefaults()
 	d := &Deployment{sc: sc}
+	if len(sc.Chaos) > 0 {
+		// The xor decorrelates the wire-jitter stream from the leak-fault
+		// and GCS-jitter streams while keeping one scenario seed.
+		inj, err := netfault.NewInjector(sc.Seed^0x6e66, sc.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		d.chaos = inj
+	}
 	var hubOpts []gcs.HubOption
 	if sc.GCSDelay > 0 {
 		hubOpts = append(hubOpts, gcs.WithDeliveryDelay(sc.GCSDelay))
@@ -401,7 +418,35 @@ func (d *Deployment) NewClient() (client.Strategy, error) {
 		NamesAddr:    d.names.Addr(),
 		HubAddr:      d.hub.Addr(),
 		QueryTimeout: d.sc.QueryTimeout,
+		Dial:         d.clientDial(),
 	})
+}
+
+// clientDial is the transport dialer client strategies use: the chaos
+// injector's when a plan is active, the default otherwise.
+func (d *Deployment) clientDial() orb.DialFunc {
+	if d.chaos == nil {
+		return nil
+	}
+	return d.chaos.DialTimeout
+}
+
+// Chaos exposes the wire-fault injector (nil when the scenario has no
+// chaos plan); tests read its fired-event accounting.
+func (d *Deployment) Chaos() *netfault.Injector { return d.chaos }
+
+// ServedRequests sums the application requests executed across every
+// replica instance launched so far. Compared with the clients' success
+// counts it gives the at-most-once check: equality is exactly-once, any
+// surplus bounds the COMPLETED_MAYBE re-executions caused by lost replies.
+func (d *Deployment) ServedRequests() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total uint64
+	for _, r := range d.replicas {
+		total += uint64(r.Requests())
+	}
+	return total
 }
 
 // clientRun is one client's collected outcomes.
@@ -425,6 +470,7 @@ func (d *Deployment) Drive() (*Result, error) {
 			HubAddr:      d.hub.Addr(),
 			MemberName:   fmt.Sprintf("client-%d", i+1),
 			QueryTimeout: d.sc.QueryTimeout,
+			Dial:         d.clientDial(),
 		})
 		if err != nil {
 			for _, s := range strats[:i] {

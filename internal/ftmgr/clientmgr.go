@@ -26,6 +26,10 @@ type FailoverEvent struct {
 	At     time.Time
 }
 
+// DialFunc opens a transport connection; the chaos harness substitutes
+// netfault's injecting dialer (default net.DialTimeout).
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
 // ClientConfig parameterizes the client-side fault-tolerance manager.
 type ClientConfig struct {
 	// Scheme must be NeedsAddressing or MeadMessage; the LOCATION_FORWARD
@@ -41,6 +45,10 @@ type ClientConfig struct {
 	QueryTimeout time.Duration
 	// DialTimeout bounds redirection dials (default 2 s).
 	DialTimeout time.Duration
+	// Dial opens redirection connections (default net.DialTimeout); the
+	// chaos harness injects here so even recovery dials cross the faulty
+	// network.
+	Dial DialFunc
 	// OnFailover observes completed hand-offs (metrics).
 	OnFailover func(FailoverEvent)
 }
@@ -71,6 +79,9 @@ func NewClientManager(cfg ClientConfig) (*ClientManager, error) {
 	}
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = net.DialTimeout
 	}
 	return &ClientManager{cfg: cfg}, nil
 }
@@ -109,9 +120,46 @@ func (cm *ClientManager) WrapClientConn(conn net.Conn) net.Conn {
 // replica (dup2-equivalent swap), and pass the regular GIOP reply up to the
 // unmodified ORB.
 func (cm *ClientManager) meadHooks() interceptor.Hooks {
-	var pending net.Conn
-	var pendingTarget string
+	var (
+		pending       net.Conn
+		pendingTarget string
+		lastRequestID uint32
+		lastOrder     giop.Header
+		haveRequest   bool
+	)
+	// recover repairs the stream after a wire fault killed the connection:
+	// prefer the already-dialed migration target (the fail-over notice beat
+	// the fault), otherwise reconnect to the same replica — a wire-level
+	// fault, unlike a crash, leaves the primary alive and reachable.
+	recover := func(c *interceptor.Conn) bool {
+		if pending != nil {
+			c.SwapUnder(pending)
+			pending = nil
+			cm.noteFailover(pendingTarget)
+			return true
+		}
+		addr := c.Under().RemoteAddr()
+		if addr == nil {
+			return false
+		}
+		newConn, err := cm.cfg.Dial("tcp", addr.String(), cm.cfg.DialTimeout)
+		if err != nil {
+			return false
+		}
+		c.SwapUnder(newConn)
+		return true
+	}
 	return interceptor.Hooks{
+		OnWriteFrame: func(c *interceptor.Conn, f giop.Frame) ([]byte, error) {
+			if f.Kind == giop.FrameGIOP && f.Header.Type == giop.MsgRequest {
+				if id, err := giop.RequestIDOf(f.Header.Order, f.Body()); err == nil {
+					lastRequestID = id
+					lastOrder = f.Header
+					haveRequest = true
+				}
+			}
+			return f.Raw, nil
+		},
 		OnReadFrame: func(c *interceptor.Conn, f giop.Frame) ([]byte, error) {
 			switch f.Kind {
 			case giop.FrameMEAD:
@@ -122,7 +170,7 @@ func (cm *ClientManager) meadHooks() interceptor.Hooks {
 				if err != nil {
 					return nil, nil
 				}
-				newConn, err := net.DialTimeout("tcp", addr, cm.cfg.DialTimeout)
+				newConn, err := cm.cfg.Dial("tcp", addr, cm.cfg.DialTimeout)
 				if err != nil {
 					// Migration target unreachable: ignore the notice and
 					// keep using the (still live) failing replica.
@@ -144,6 +192,25 @@ func (cm *ClientManager) meadHooks() interceptor.Hooks {
 			default:
 				return f.Raw, nil
 			}
+		},
+		OnReadEOF: func(c *interceptor.Conn, readErr error) ([]byte, bool) {
+			// The stream died without (or before) a fail-over notice — a
+			// wire fault rather than the managed migration. Repair the
+			// transport and fabricate NEEDS_ADDRESSING so the unmodified
+			// ORB retransmits the in-flight request.
+			if !haveRequest || !recover(c) {
+				return nil, false
+			}
+			fabricated := giop.EncodeReply(lastOrder.Order, giop.ReplyHeader{
+				RequestID: lastRequestID,
+				Status:    giop.ReplyNeedsAddressingMode,
+			}, nil)
+			return fabricated, true
+		},
+		OnWriteError: func(c *interceptor.Conn, writeErr error) bool {
+			// The request frame itself failed to leave: repair and let the
+			// interceptor rewrite the frame on the fresh transport.
+			return recover(c)
 		},
 	}
 }
@@ -173,23 +240,39 @@ func (cm *ClientManager) needsAddrHooks() interceptor.Hooks {
 			if !haveRequest {
 				return nil, false
 			}
-			primary, ok := cm.queryPrimary()
-			if !ok {
+			if !cm.redirectToPrimary(c) {
 				return nil, false // timeout: COMM_FAILURE reaches the app
 			}
-			newConn, err := net.DialTimeout("tcp", primary.Addr, cm.cfg.DialTimeout)
-			if err != nil {
-				return nil, false
-			}
-			c.SwapUnder(newConn)
-			cm.noteFailover(primary.Addr)
 			fabricated := giop.EncodeReply(lastOrder.Order, giop.ReplyHeader{
 				RequestID: lastRequestID,
 				Status:    giop.ReplyNeedsAddressingMode,
 			}, nil)
 			return fabricated, true
 		},
+		OnWriteError: func(c *interceptor.Conn, writeErr error) bool {
+			// The request died on the way out (e.g. a mid-frame reset).
+			// Redirect to the current primary and resume: the interceptor
+			// rewrites the whole frame, so no fabricated reply is needed.
+			return cm.redirectToPrimary(c)
+		},
 	}
+}
+
+// redirectToPrimary performs the NEEDS_ADDRESSING recovery: query the group
+// for the agreed-upon primary within the query timeout, dial it, and swap
+// the interceptor's transport over.
+func (cm *ClientManager) redirectToPrimary(c *interceptor.Conn) bool {
+	primary, ok := cm.queryPrimary()
+	if !ok {
+		return false
+	}
+	newConn, err := cm.cfg.Dial("tcp", primary.Addr, cm.cfg.DialTimeout)
+	if err != nil {
+		return false
+	}
+	c.SwapUnder(newConn)
+	cm.noteFailover(primary.Addr)
+	return true
 }
 
 // queryPrimary multicasts a primary query to the server group and waits for

@@ -334,30 +334,33 @@ func TestManyMembersViewConsistency(t *testing.T) {
 	h := startHub(t)
 	const n = 8
 	members := make([]*Member, n)
+	var last Delivery
 	for i := 0; i < n; i++ {
 		members[i] = dial(t, h, fmt.Sprintf("m%d", i))
 		if err := members[i].Join("g"); err != nil {
 			t.Fatal(err)
 		}
 		// Wait for this member's own view so joins are strictly ordered.
-		nextOfKind(t, members[i], DeliverView)
+		last = nextOfKind(t, members[i], DeliverView)
 	}
-	// Eventually the hub's membership has all n in join order.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		got := h.Members("g")
-		if len(got) == n {
-			for i, name := range got {
-				if name != fmt.Sprintf("m%d", i) {
-					t.Fatalf("membership order = %v", got)
-				}
-			}
-			break
+	// The last joiner's own view is generated from the hub's completed
+	// membership, so both must list all n in join order — no polling.
+	if got := last.View.Members; len(got) != n {
+		t.Fatalf("final view has %d members: %v", len(got), got)
+	}
+	for i, name := range last.View.Members {
+		if name != fmt.Sprintf("m%d", i) {
+			t.Fatalf("view order = %v", last.View.Members)
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("membership never reached %d: %v", n, got)
+	}
+	got := h.Members("g")
+	if len(got) != n {
+		t.Fatalf("hub membership = %v, want %d members", got, n)
+	}
+	for i, name := range got {
+		if name != fmt.Sprintf("m%d", i) {
+			t.Fatalf("membership order = %v", got)
 		}
-		time.Sleep(time.Millisecond)
 	}
 }
 

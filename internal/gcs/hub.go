@@ -23,6 +23,7 @@ type Hub struct {
 
 	delay  time.Duration // artificial delivery latency (LAN emulation)
 	jitter time.Duration // uniform random extra latency per delivery
+	wrap   func(net.Conn) net.Conn
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -63,6 +64,12 @@ type HubOption interface{ applyHub(*Hub) }
 type hubOptionFunc func(*Hub)
 
 func (f hubOptionFunc) applyHub(h *Hub) { f(h) }
+
+// WithConnWrapper interposes w on every accepted member connection (the
+// chaos harness's injection point for hub-side wire faults).
+func WithConnWrapper(w func(net.Conn) net.Conn) HubOption {
+	return hubOptionFunc(func(h *Hub) { h.wrap = w })
+}
 
 // WithDeliveryDelay adds a fixed latency to every hub-to-member delivery,
 // emulating a LAN hop (the paper's Emulab network) instead of loopback.
@@ -200,6 +207,9 @@ func (h *Hub) acceptLoop() {
 		conn, err := h.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if h.wrap != nil {
+			conn = h.wrap(conn)
 		}
 		h.wg.Add(1)
 		go func() {

@@ -75,10 +75,20 @@ type Member struct {
 	done    chan struct{}
 }
 
+// DialFunc opens the member's transport to the hub; the chaos harness
+// substitutes netfault's injecting dialer (default net.DialTimeout).
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
 // Dial connects to the hub at addr and registers under the given unique
 // member name.
 func Dial(addr, name string) (*Member, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return DialWith(net.DialTimeout, addr, name)
+}
+
+// DialWith is Dial with an explicit transport dialer, so group
+// communication runs over an injectable wire too.
+func DialWith(dial DialFunc, addr, name string) (*Member, error) {
+	conn, err := dial("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("gcs: dial hub %s: %w", addr, err)
 	}

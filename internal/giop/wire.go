@@ -1,0 +1,40 @@
+package giop
+
+import "fmt"
+
+// WireFrameLen reports the total on-wire length of the frame (GIOP or MEAD)
+// at the head of buf. (0, nil) means buf holds only a prefix of the frame —
+// wait for more bytes. A non-nil error means the head of the stream can
+// never become a valid frame (bad magic or version, or a length prefix over
+// MaxMessageSize). Stream-splicing layers (the interceptor's write path, the
+// netfault chaos shim) share this to find frame boundaries without decoding
+// message bodies.
+func WireFrameLen(buf []byte) (int, error) {
+	if len(buf) < HeaderLen { // both header formats are 12 bytes
+		return 0, nil
+	}
+	switch string(buf[:4]) {
+	case Magic:
+		h, err := ParseHeader(buf[:HeaderLen])
+		if err != nil {
+			return 0, err
+		}
+		total := HeaderLen + int(h.Size)
+		if len(buf) < total {
+			return 0, nil
+		}
+		return total, nil
+	case MeadMagic:
+		_, n, err := ParseMeadHeader(buf[:MeadHeaderLen])
+		if err != nil {
+			return 0, err
+		}
+		total := MeadHeaderLen + int(n)
+		if len(buf) < total {
+			return 0, nil
+		}
+		return total, nil
+	default:
+		return 0, fmt.Errorf("%w: % x", ErrBadMagic, buf[:4])
+	}
+}

@@ -51,8 +51,18 @@ type Hooks struct {
 	// OnReadEOF is consulted when the underlying transport fails mid-read
 	// (EOF or reset — the paper's signature of an abrupt server failure).
 	// It may repair the connection (SwapUnder) and return fabricated bytes
-	// to surface plus resume=true; resume=false propagates the error.
+	// to surface plus resume=true; resume=false propagates the error. The
+	// substitute bytes are surfaced to the ORB verbatim (they are not
+	// re-parsed), so a hook that fabricates a truncated frame simply leaves
+	// the ORB to detect the short stream itself.
 	OnReadEOF func(c *Conn, err error) (substitute []byte, resume bool)
+	// OnWriteError is consulted when writing a whole frame to the
+	// underlying transport fails with a stream-end error (reset or closed
+	// pipe — the write-side signature of an abrupt peer failure). The hook
+	// may repair the connection (SwapUnder) and return true, in which case
+	// the frame is rewritten once, in full, on the new transport; false
+	// propagates the error to the ORB.
+	OnWriteError func(c *Conn, err error) (resume bool)
 }
 
 // ErrIntercepted reports a hook-initiated failure.
@@ -106,9 +116,19 @@ func (c *Conn) Under() net.Conn {
 
 // SwapUnder atomically redirects the stream to newConn, closing the old
 // transport — the dup2() equivalent. Any buffered inbound bytes are
-// preserved (they were already delivered by the old replica).
+// preserved (they were already delivered by the old replica). Swapping a
+// connection that has already been Closed closes newConn instead of
+// resurrecting the stream, so a hook-driven repair racing Close cannot leak
+// the replacement transport.
 func (c *Conn) SwapUnder(newConn net.Conn) {
 	c.underMu.Lock()
+	if c.closed {
+		c.underMu.Unlock()
+		if newConn != nil {
+			_ = newConn.Close()
+		}
+		return
+	}
 	old := c.under
 	c.under = newConn
 	c.underMu.Unlock()
@@ -241,7 +261,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 			}
 		}
 		if len(out) != 0 {
-			if _, err := c.Under().Write(out); err != nil {
+			if err := c.writeFrame(out); err != nil {
 				return 0, err
 			}
 		}
@@ -250,6 +270,27 @@ func (c *Conn) Write(p []byte) (int, error) {
 		n := copy(c.writeBuf, c.writeBuf[frameLen:])
 		c.writeBuf = c.writeBuf[:n]
 	}
+}
+
+// writeFrame puts one whole (possibly rewritten) frame on the wire. A
+// stream-end failure is offered to OnWriteError, which may repair the
+// transport (SwapUnder) and resume; the frame is then retransmitted once,
+// in full, on the new transport. A truncated first attempt is safe to
+// repeat: the peer discards the partial frame when its end of the broken
+// connection dies.
+func (c *Conn) writeFrame(out []byte) error {
+	_, err := c.Under().Write(out)
+	if err == nil {
+		return nil
+	}
+	if c.isClosed() || !isStreamEnd(err) || c.hooks.OnWriteError == nil {
+		return err
+	}
+	if !c.hooks.OnWriteError(c, err) {
+		return err
+	}
+	_, err = c.Under().Write(out)
+	return err
 }
 
 // LocalAddr returns the current transport's local address.
@@ -288,33 +329,7 @@ func isStreamEnd(err error) bool {
 // error means the head of the stream can never become a valid frame
 // (bad magic/version, or a length prefix over giop.MaxMessageSize).
 func peekFrameLen(buf []byte) (int, error) {
-	if len(buf) < giop.HeaderLen {
-		return 0, nil
-	}
-	switch string(buf[:4]) {
-	case giop.Magic:
-		h, err := giop.ParseHeader(buf[:giop.HeaderLen])
-		if err != nil {
-			return 0, err
-		}
-		total := giop.HeaderLen + int(h.Size)
-		if len(buf) < total {
-			return 0, nil
-		}
-		return total, nil
-	case giop.MeadMagic:
-		_, n, err := giop.ParseMeadHeader(buf[:giop.MeadHeaderLen])
-		if err != nil {
-			return 0, err
-		}
-		total := giop.MeadHeaderLen + int(n)
-		if len(buf) < total {
-			return 0, nil
-		}
-		return total, nil
-	default:
-		return 0, fmt.Errorf("%w: % x", giop.ErrBadMagic, buf[:4])
-	}
+	return giop.WireFrameLen(buf)
 }
 
 // parseFrame decodes a complete raw frame.

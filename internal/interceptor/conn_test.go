@@ -439,6 +439,98 @@ func TestWriteRejectsOversizedFrame(t *testing.T) {
 	}
 }
 
+// TestOnReadEOFTruncatedSubstitute: a hook that fabricates a truncated
+// frame leaves the ORB to detect the short stream itself (documented on
+// Hooks.OnReadEOF) — the interceptor surfaces the bytes verbatim, and the
+// next read hits the hook again rather than desyncing the stream.
+func TestOnReadEOFTruncatedSubstitute(t *testing.T) {
+	cEnd, sEnd := tcpPair(t)
+	whole := replyFrame(9)
+	var calls int
+	ic := New(cEnd, Hooks{
+		OnReadEOF: func(c *Conn, err error) ([]byte, bool) {
+			calls++
+			if calls == 1 {
+				return whole[:len(whole)/2], true // torn substitute
+			}
+			return nil, false
+		},
+	})
+	_ = sEnd.Close()
+	_, _, err := giop.ReadMessage(ic)
+	if err == nil {
+		t.Fatal("truncated substitute produced a whole message")
+	}
+	if calls != 2 {
+		t.Fatalf("OnReadEOF calls = %d, want 2 (torn bytes, then decline)", calls)
+	}
+}
+
+// TestSwapUnderRacesClose: however Close and a hook-driven SwapUnder
+// interleave, the replacement transport must end up closed — a repair racing
+// a shutdown cannot resurrect the stream or leak its socket.
+func TestSwapUnderRacesClose(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		cEnd1, _ := tcpPair(t)
+		cEnd2, _ := tcpPair(t)
+		ic := New(cEnd1, Hooks{})
+		start := make(chan struct{})
+		done := make(chan struct{}, 2)
+		go func() { <-start; _ = ic.Close(); done <- struct{}{} }()
+		go func() { <-start; ic.SwapUnder(cEnd2); done <- struct{}{} }()
+		close(start)
+		<-done
+		<-done
+		// Whichever won, the swapped-in conn is closed: either the swap
+		// landed first and Close took it down, or Close landed first and
+		// SwapUnder refused the resurrection.
+		if _, err := cEnd2.Read(make([]byte, 1)); !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("iteration %d: replacement conn alive after close/swap race (err = %v)", i, err)
+		}
+	}
+}
+
+// TestWriteErrorRecoveryPreservesPiggyback: when the transport dies under a
+// piggybacked MEAD+GIOP write, the OnWriteError repair must retransmit the
+// whole rewritten output — both frames, in order — on the new transport.
+func TestWriteErrorRecoveryPreservesPiggyback(t *testing.T) {
+	cEnd1, _ := tcpPair(t)
+	cEnd2, sEnd2 := tcpPair(t)
+	mead := giop.EncodeMead(giop.MeadFailover, []byte("to"))
+	var repairs int
+	ic := New(cEnd1, Hooks{
+		OnWriteFrame: func(c *Conn, f giop.Frame) ([]byte, error) {
+			out := make([]byte, 0, len(mead)+len(f.Raw))
+			out = append(out, mead...)
+			return append(out, f.Raw...), nil
+		},
+		OnWriteError: func(c *Conn, err error) bool {
+			repairs++
+			c.SwapUnder(cEnd2)
+			return true
+		},
+	})
+	_ = cEnd1.Close() // transport dies before the write reaches the wire
+	if _, err := ic.Write(requestFrame(3, "retry")); err != nil {
+		t.Fatalf("recovered write: %v", err)
+	}
+	if repairs != 1 {
+		t.Fatalf("repairs = %d, want 1", repairs)
+	}
+	f1, err := giop.ReadFrame(sEnd2)
+	if err != nil || f1.Kind != giop.FrameMEAD {
+		t.Fatalf("first retransmitted frame = %+v, %v; want MEAD piggyback", f1, err)
+	}
+	h, body, err := giop.ReadMessage(sEnd2)
+	if err != nil || h.Type != giop.MsgRequest {
+		t.Fatalf("second retransmitted frame: %+v, %v", h, err)
+	}
+	hdr, _, err := giop.DecodeRequest(h.Order, body)
+	if err != nil || hdr.Operation != "retry" {
+		t.Fatalf("retransmitted request = %+v, %v", hdr, err)
+	}
+}
+
 // TestWriteBufReclaimedAfterFrames: the accumulation buffer must not grow
 // without bound across many complete frames.
 func TestWriteBufReclaimedAfterFrames(t *testing.T) {

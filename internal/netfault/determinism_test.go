@@ -1,0 +1,95 @@
+package netfault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSeededJitterIsDeterministic drives the request clock of two injectors
+// built from the same seed and plan and asserts the jittered latency draws
+// are identical — the property that makes chaos runs reproducible from a
+// single seed.
+func TestSeededJitterIsDeterministic(t *testing.T) {
+	plan := Plan{
+		{Kind: Latency, At: 0, For: -1, Latency: time.Millisecond, Jitter: 5 * time.Millisecond},
+		{Kind: DuplicateReply, At: 7},
+	}
+	mk := func() []time.Duration {
+		inj, err := NewInjector(42, plan)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		var draws []time.Duration
+		for i := 0; i < 32; i++ {
+			draws = append(draws, inj.takeRequest("host:1").latency)
+		}
+		return draws
+	}
+	a, b := mk(), mk()
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v vs %v — same seed diverged", i, a[i], b[i])
+		}
+		if a[i] != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter draws never varied; PRNG not applied")
+	}
+}
+
+// TestDifferentSeedsDiverge guards against the PRNG being ignored.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	plan := Plan{{Kind: Latency, At: 0, For: -1, Jitter: 10 * time.Millisecond}}
+	draw := func(seed int64) []time.Duration {
+		inj, err := NewInjector(seed, plan)
+		if err != nil {
+			t.Fatalf("NewInjector: %v", err)
+		}
+		var out []time.Duration
+		for i := 0; i < 16; i++ {
+			out = append(out, inj.takeRequest("h:1").latency)
+		}
+		return out
+	}
+	a, b := draw(1), draw(2)
+	for i := range a {
+		if a[i] != b[i] {
+			return
+		}
+	}
+	t.Fatal("different seeds produced identical jitter series")
+}
+
+// TestEventWindows pins the At/For matching semantics.
+func TestEventWindows(t *testing.T) {
+	inj, err := NewInjector(1, Plan{
+		{Name: "w", Kind: ShortWrites, At: 2, For: 3, SegmentBytes: 4},
+		{Name: "o", Kind: CutAfterRequest, At: 4},
+		{Name: "addr", Kind: CutAfterRequest, At: 5, Addr: "other:9"},
+	})
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		a := inj.takeRequest("host:1")
+		wantSeg := i >= 2 && i < 5
+		if (a.segment != 0) != wantSeg {
+			t.Errorf("request %d: segment active = %v, want %v", i, a.segment != 0, wantSeg)
+		}
+		if a.cutAfter != (i == 4) {
+			t.Errorf("request %d: cutAfter = %v, want %v", i, a.cutAfter, i == 4)
+		}
+	}
+	if got := inj.Fired("w"); got != 3 {
+		t.Errorf("windowed fired = %d, want 3", got)
+	}
+	if got := inj.Fired("o"); got != 1 {
+		t.Errorf("one-shot fired = %d, want 1", got)
+	}
+	if got := inj.Fired("addr"); got != 0 {
+		t.Errorf("addr-restricted fired = %d, want 0", got)
+	}
+}

@@ -24,6 +24,16 @@ func WithClientConnWrapper(w ConnWrapper) ClientOption {
 	return clientOptionFunc(func(c *ClientORB) { c.wrap = w })
 }
 
+// DialFunc opens the transport to a replica. The experiment harness swaps
+// in netfault's chaos dialer here; the default is net.DialTimeout.
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+// WithDialer replaces the transport dialer for every connection this ORB
+// opens (private and pooled).
+func WithDialer(d DialFunc) ClientOption {
+	return clientOptionFunc(func(c *ClientORB) { c.dial = d })
+}
+
 // WithClientByteOrder sets the byte order of requests (default big-endian).
 func WithClientByteOrder(order cdr.ByteOrder) ClientOption {
 	return clientOptionFunc(func(c *ClientORB) { c.order = order })
@@ -63,6 +73,7 @@ func WithConnectionPool() ClientOption {
 type ClientORB struct {
 	order       cdr.ByteOrder
 	wrap        ConnWrapper
+	dial        DialFunc
 	dialTimeout time.Duration
 	maxForwards int
 	maxBody     int
@@ -73,6 +84,7 @@ type ClientORB struct {
 func NewClient(opts ...ClientOption) *ClientORB {
 	c := &ClientORB{
 		order:       cdr.BigEndian,
+		dial:        net.DialTimeout,
 		dialTimeout: 5 * time.Second,
 		maxForwards: 8,
 	}
@@ -182,7 +194,7 @@ func (o *ObjectRef) connectLocked() error {
 	if err != nil {
 		return giop.Transient(1, giop.CompletedNo)
 	}
-	conn, err := net.DialTimeout("tcp", addr, o.orb.dialTimeout)
+	conn, err := o.orb.dial("tcp", addr, o.orb.dialTimeout)
 	if err != nil {
 		return giop.Transient(2, giop.CompletedNo)
 	}
@@ -227,26 +239,43 @@ func (o *ObjectRef) Invoke(op string, writeArgs func(*cdr.Encoder), readResult f
 			return giop.CommFailure(10, giop.CompletedMaybe)
 		}
 
-		hdr, mb, err := o.readReplyLocked(reqID)
-		if err != nil {
-			o.dropConnLocked()
-			return err
-		}
 		// The reply header, status body, and the decoder d all borrow mb;
 		// every exit from the switch below releases both before returning
 		// (or before retransmitting). DecodeReply releases the decoder
 		// itself on failure.
-		rh, d, err := giop.DecodeReply(hdr.Order, mb.Bytes())
-		if err != nil {
-			mb.Release()
-			o.dropConnLocked()
-			return fmt.Errorf("orb: corrupt reply: %w", err)
-		}
-		if rh.RequestID != reqID {
-			d.Release()
-			mb.Release()
-			o.dropConnLocked()
-			return &giop.SystemException{RepoID: giop.RepoInternal, Minor: 20, Completed: giop.CompletedMaybe}
+		var (
+			rh giop.ReplyHeader
+			d  *cdr.Decoder
+			mb *giop.MsgBuf
+		)
+		for skips := 0; ; skips++ {
+			hdr, b, err := o.readReplyLocked(reqID)
+			if err != nil {
+				o.dropConnLocked()
+				return err
+			}
+			h, dec, err := giop.DecodeReply(hdr.Order, b.Bytes())
+			if err != nil {
+				b.Release()
+				o.dropConnLocked()
+				return fmt.Errorf("orb: corrupt reply: %w", err)
+			}
+			if h.RequestID != reqID {
+				// A stale request id: the late reply to a request this
+				// reference already retransmitted, or a wire-duplicated
+				// frame. GIOP replies carry the id precisely so mismatched
+				// ones can be discarded; bound the skips so a desynced
+				// stream still surfaces an error.
+				dec.Release()
+				b.Release()
+				if skips >= maxStaleReplies {
+					o.dropConnLocked()
+					return &giop.SystemException{RepoID: giop.RepoInternal, Minor: 20, Completed: giop.CompletedMaybe}
+				}
+				continue
+			}
+			rh, d, mb = h, dec, b
+			break
 		}
 
 		switch rh.Status {
@@ -391,6 +420,10 @@ func (o *ObjectRef) Locate() (giop.LocateStatus, error) {
 	}
 	return hdr.Status, nil
 }
+
+// maxStaleReplies bounds how many mismatched-request-id replies one
+// invocation will discard before declaring the stream desynced.
+const maxStaleReplies = 32
 
 // readReplyLocked reads messages until the Reply for reqID arrives. Read
 // errors (EOF from a crashed server) surface as COMM_FAILURE, which takes

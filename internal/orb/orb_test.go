@@ -20,10 +20,17 @@ var clockKey = giop.MakeObjectKey("timeofday", "clock")
 // echoServant implements time_of_day (returns a longlong) and echo.
 type echoServant struct {
 	calls atomic.Int64
+	// called ticks once per invocation, letting tests of asynchronous
+	// paths (oneway) wait on the event itself rather than poll the counter.
+	called chan struct{}
 }
 
 func (s *echoServant) Invoke(op string, args *cdr.Decoder, result *cdr.Encoder) error {
 	s.calls.Add(1)
+	select {
+	case s.called <- struct{}{}:
+	default:
+	}
 	switch op {
 	case "time_of_day":
 		result.WriteLongLong(time.Now().UnixNano())
@@ -60,7 +67,7 @@ func (s *echoServant) Invoke(op string, args *cdr.Decoder, result *cdr.Encoder) 
 func startServer(t *testing.T, opts ...ServerOption) (*ServerORB, *echoServant) {
 	t.Helper()
 	s := NewServer(opts...)
-	servant := &echoServant{}
+	servant := &echoServant{called: make(chan struct{}, 64)}
 	s.Register(clockKey, servant)
 	if err := s.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
@@ -487,12 +494,12 @@ func TestOneWayInvocation(t *testing.T) {
 	if _, err := invokeTime(o); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for servant.calls.Load() < 2 {
-		if time.Now().After(deadline) {
+	for i := 0; i < 2; i++ {
+		select {
+		case <-servant.called:
+		case <-time.After(5 * time.Second):
 			t.Fatalf("servant calls = %d, want 2", servant.calls.Load())
 		}
-		time.Sleep(time.Millisecond)
 	}
 	if st := o.Stats(); st.Invocations != 2 {
 		t.Fatalf("stats = %+v", st)
@@ -622,7 +629,7 @@ func TestFragmentedInvocationEndToEnd(t *testing.T) {
 	// Both directions fragmented: a large echo through a server and
 	// client configured with small fragment sizes.
 	s := NewServer(WithServerMaxBodyBytes(128))
-	servant := &echoServant{}
+	servant := &echoServant{called: make(chan struct{}, 64)}
 	s.Register(clockKey, servant)
 	if err := s.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)
@@ -653,7 +660,7 @@ func TestFragmentedInvocationEndToEnd(t *testing.T) {
 func TestFragmentedThroughInterceptorPassThrough(t *testing.T) {
 	// A pass-through interceptor must forward fragmented streams intact.
 	s := NewServer(WithServerMaxBodyBytes(100))
-	servant := &echoServant{}
+	servant := &echoServant{called: make(chan struct{}, 64)}
 	s.Register(clockKey, servant)
 	if err := s.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)

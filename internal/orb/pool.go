@@ -127,7 +127,7 @@ type muxConn struct {
 // Connection refusal maps to TRANSIENT: the pooled address may be stale (the
 // paper's cached-reference failure mode).
 func (m *muxConn) dial() {
-	conn, err := net.DialTimeout("tcp", m.addr, m.pool.orb.dialTimeout)
+	conn, err := m.pool.orb.dial("tcp", m.addr, m.pool.orb.dialTimeout)
 	if err != nil {
 		m.dialErr = giop.Transient(2, giop.CompletedNo)
 		return

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"mead/internal/cdr"
 	"mead/internal/giop"
@@ -76,6 +77,15 @@ func WithServerConnWrapper(w ConnWrapper) ServerOption {
 	return serverOptionFunc(func(s *ServerORB) { s.wrap = w })
 }
 
+// WithServerWireWrapper interposes w on every accepted connection *beneath*
+// the interceptor wrapper: w sees the raw socket bytes, and the conn wrapper
+// (the MEAD interceptor) is layered on top of w's result. The chaos harness
+// attaches wire-fault injection here so faults hit below the interceptor
+// boundary, exactly where a real network fault would.
+func WithServerWireWrapper(w ConnWrapper) ServerOption {
+	return serverOptionFunc(func(s *ServerORB) { s.wireWrap = w })
+}
+
 // WithServerByteOrder sets the byte order of replies (default big-endian).
 func WithServerByteOrder(order cdr.ByteOrder) ServerOption {
 	return serverOptionFunc(func(s *ServerORB) { s.order = order })
@@ -99,8 +109,10 @@ func WithConnClosedHook(hook func(active int)) ServerOption {
 type ServerORB struct {
 	order        cdr.ByteOrder
 	wrap         ConnWrapper
+	wireWrap     ConnWrapper
 	onConnClosed func(active int)
 	maxBody      int
+	served       atomic.Uint64
 
 	ln net.Listener
 	wg sync.WaitGroup
@@ -173,6 +185,12 @@ func (s *ServerORB) Start() error {
 	return nil
 }
 
+// Served reports how many requests this ORB's servants have executed.
+// At-most-once checks compare it against client-side success counts: a
+// served count above the successes bounds the re-executions (COMPLETED_MAYBE
+// retransmissions), and equality proves exactly-once for the run.
+func (s *ServerORB) Served() uint64 { return s.served.Load() }
+
 // ActiveConnections returns the number of live client connections.
 func (s *ServerORB) ActiveConnections() int {
 	s.mu.Lock()
@@ -222,6 +240,9 @@ func (s *ServerORB) acceptLoop() {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return
+		}
+		if s.wireWrap != nil {
+			conn = s.wireWrap(conn)
 		}
 		if s.wrap != nil {
 			conn = s.wrap(conn)
@@ -355,6 +376,7 @@ func (s *ServerORB) dispatchRequest(conn net.Conn, cw *connWriter, hdr giop.Requ
 			Completed: giop.CompletedNo,
 		}
 	default:
+		s.served.Add(1)
 		err := servant.Invoke(hdr.Operation, args, result)
 		switch {
 		case err == nil:
