@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build test bench-smoke bench fuzz-smoke chaos-smoke
+.PHONY: check fmt-check vet build test bench-smoke bench fuzz-smoke chaos-smoke metrics-smoke
 
 ## check: the full verification gate — formatting, static analysis, build,
 ## race-enabled tests, and a one-iteration smoke pass over every benchmark
@@ -29,6 +29,12 @@ test:
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'Chaos|Cut|Blackhole|Partition|Duplicate|ShortWrites|Latency|Seeded|Determin|Table1' \
 		./internal/netfault/ ./internal/experiment/
+
+## metrics-smoke: boot a real multi-process deployment with -metrics, drive
+## a client workload, and validate the Prometheus/JSON/JSONL responses of
+## the telemetry endpoint.
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 ## bench-smoke: run every benchmark once. Catches bit-rot in the benchmark
 ## harnesses (including the alloc-guarded GIOP/CDR micro-benches and the

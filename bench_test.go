@@ -432,7 +432,7 @@ func BenchmarkAblation_ObjectTable_512(b *testing.B) { runObjectScalingBench(b, 
 // path every invocation queues behind the reference's mutex; on the pooled
 // path the same single TCP connection carries N concurrent in-flight
 // requests demultiplexed by request id.
-func runInvocationBench(b *testing.B, callers int, pooled bool) {
+func runInvocationBench(b *testing.B, callers int, pooled bool, copts ...orb.ClientOption) {
 	b.Helper()
 	key := giop.MakeObjectKey("bench", "clock")
 	s := orb.NewServer()
@@ -452,7 +452,6 @@ func runInvocationBench(b *testing.B, callers int, pooled bool) {
 		b.Fatal(err)
 	}
 
-	var copts []orb.ClientOption
 	if pooled {
 		copts = append(copts, orb.WithConnectionPool())
 	}

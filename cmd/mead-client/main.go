@@ -30,6 +30,7 @@ func run(args []string) error {
 		period    = fs.Duration("period", time.Millisecond, "request period")
 		csvPath   = fs.String("csv", "", "write per-invocation RTTs to this CSV file")
 		pool      = fs.Bool("pool", false, "share one multiplexed connection per replica (reactive and location-forward schemes only)")
+		metrics   = fs.String("metrics", "", "serve metrics (/metrics) and the recovery trace (/trace) on this address, e.g. 127.0.0.1:9091")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -38,17 +39,27 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	tel := mead.NewTelemetry(scheme.String())
 	strat, err := mead.NewClient(mead.ClientConfig{
 		Scheme:     scheme,
 		Service:    *service,
 		NamesAddr:  *namesAddr,
 		HubAddr:    *hubAddr,
 		SharedPool: *pool,
+		Telemetry:  tel,
 	})
 	if err != nil {
 		return err
 	}
 	defer strat.Close()
+	if *metrics != "" {
+		ms, err := mead.ServeMetrics(*metrics, tel)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Printf("mead-client: metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	rtts := make([]time.Duration, 0, *n)
 	exceptions := make(map[string]int)

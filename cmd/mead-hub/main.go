@@ -22,15 +22,25 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mead-hub", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:4803", "listen address")
+	metrics := fs.String("metrics", "", "serve metrics (/metrics) on this address, e.g. 127.0.0.1:9090")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	hub := mead.NewHub()
+	tel := mead.NewTelemetry("")
+	hub := mead.NewHub(mead.WithHubTelemetry(tel))
 	if err := hub.Start(*addr); err != nil {
 		return err
 	}
 	defer hub.Close()
 	fmt.Printf("mead-hub: serving group communication on %s\n", hub.Addr())
+	if *metrics != "" {
+		ms, err := mead.ServeMetrics(*metrics, tel)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Printf("mead-hub: metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -45,6 +45,7 @@ func run(args []string) error {
 		tick      = fs.Duration("fault-tick", 150*time.Millisecond, "leak interval")
 		chunkUnit = fs.Int64("fault-chunk", 32, "bytes per Weibull unit")
 		seed      = fs.Int64("seed", time.Now().UnixNano(), "fault seed")
+		metrics   = fs.String("metrics", "", "serve metrics (/metrics) and the recovery trace (/trace) on this address, e.g. 127.0.0.1:9090")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +55,7 @@ func run(args []string) error {
 		return err
 	}
 
+	tel := mead.NewTelemetry(scheme.String())
 	cfg := mead.ServiceConfig{
 		Service:          *service,
 		HubAddr:          *hubAddr,
@@ -70,10 +72,19 @@ func run(args []string) error {
 		Logf: func(format string, a ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},
+		Telemetry: tel,
 	}
 	r, err := mead.NewReplica(*name, cfg)
 	if err != nil {
 		return err
+	}
+	if *metrics != "" {
+		ms, err := mead.ServeMetrics(*metrics, tel)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Printf("mead-server: metrics on http://%s/metrics\n", ms.Addr())
 	}
 	if err := r.Start(); err != nil {
 		return err

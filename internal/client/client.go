@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
 	"mead/internal/cdr"
@@ -18,6 +19,7 @@ import (
 	"mead/internal/giop"
 	"mead/internal/namesvc"
 	"mead/internal/orb"
+	"mead/internal/telemetry"
 )
 
 // Outcome describes one logical invocation as the client application
@@ -86,6 +88,11 @@ type Config struct {
 	// (NEEDS_ADDRESSING, MEAD) assume one in-flight request per connection
 	// and reject it.
 	SharedPool bool
+	// Telemetry, when set, is threaded through the ORB and interceptor and
+	// additionally records application-visible exceptions (labelled with
+	// the replica the client was bound to) and steady/fail-over round-trip
+	// histograms.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c Config) group() string { return "mead." + c.Service }
@@ -108,6 +115,9 @@ func New(cfg Config) (Strategy, error) {
 	baseOpts := []orb.ClientOption{orb.WithDialTimeout(cfg.DialTimeout)}
 	if cfg.Dial != nil {
 		baseOpts = append(baseOpts, orb.WithDialer(cfg.Dial))
+	}
+	if cfg.Telemetry != nil {
+		baseOpts = append(baseOpts, orb.WithTelemetry(cfg.Telemetry))
 	}
 	if cfg.SharedPool {
 		switch cfg.Scheme {
@@ -132,6 +142,7 @@ func New(cfg Config) (Strategy, error) {
 			Scheme:      ftmgr.MeadMessage,
 			DialTimeout: cfg.DialTimeout,
 			Dial:        ftmgr.DialFunc(cfg.Dial),
+			Telemetry:   cfg.Telemetry,
 		})
 		if err != nil {
 			return nil, err
@@ -162,6 +173,7 @@ func New(cfg Config) (Strategy, error) {
 			QueryTimeout: cfg.QueryTimeout,
 			DialTimeout:  cfg.DialTimeout,
 			Dial:         ftmgr.DialFunc(cfg.Dial),
+			Telemetry:    cfg.Telemetry,
 		})
 		if err != nil {
 			_ = member.Close()
@@ -183,6 +195,50 @@ type base struct {
 
 	ref *orb.ObjectRef
 	idx int // index (into the naming listing) of the current reference
+
+	curReplica string // replica name of the current binding (telemetry label)
+	curAddr    string // replica address of the current binding
+	done       int    // completed logical invocations (for the warm-up skip)
+}
+
+// bindTo records which replica the strategy is now bound to, for labelling
+// exception events.
+func (b *base) bindTo(entry namesvc.Entry) {
+	b.curReplica = strings.TrimPrefix(entry.Name, b.cfg.Service+"/")
+	b.curAddr, _ = entry.IOR.Addr()
+}
+
+// noteException emits the application-visible exception to the recovery
+// trace, labelled with the replica the client was bound to when it surfaced.
+func (b *base) noteException(name string) {
+	tel := b.cfg.Telemetry
+	if tel == nil {
+		return
+	}
+	switch name {
+	case "COMM_FAILURE":
+		tel.CommFailureRaised(b.curReplica, b.curAddr)
+	case "TRANSIENT":
+		tel.TransientRaised(b.curReplica, b.curAddr)
+	}
+}
+
+// record feeds the completed invocation into the steady or fail-over
+// round-trip histogram. The first invocation is excluded from the steady
+// histogram, mirroring Result.SteadyRTTs: it carries the initial naming
+// resolution and connection establishment.
+func (b *base) record(out *Outcome) {
+	b.done++
+	tel := b.cfg.Telemetry
+	if tel == nil {
+		return
+	}
+	switch {
+	case out.Failover || out.Err != nil:
+		tel.FailoverInvoke(out.RTT)
+	case b.done > 1:
+		tel.SteadyInvoke(out.RTT)
+	}
 }
 
 func (b *base) Close() error {
@@ -211,6 +267,7 @@ func (b *base) resolveAt(idx int) error {
 		_ = b.ref.Close()
 	}
 	b.ref = b.orb.Object(entries[b.idx].IOR)
+	b.bindTo(entries[b.idx])
 	return nil
 }
 

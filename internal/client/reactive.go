@@ -37,7 +37,10 @@ func (r *reactive) Scheme() ftmgr.Scheme {
 
 func (r *reactive) Invoke() (out Outcome) {
 	start := time.Now()
-	defer func() { out.RTT = time.Since(start) }()
+	defer func() {
+		out.RTT = time.Since(start)
+		r.record(&out)
+	}()
 
 	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
 		if err := r.ensureRef(); err != nil {
@@ -55,6 +58,7 @@ func (r *reactive) Invoke() (out Outcome) {
 			return out
 		}
 		// The application catches the exception and fails over.
+		r.noteException(name)
 		out.Exceptions = append(out.Exceptions, name)
 		out.Failover = true
 		r.advance()
@@ -98,6 +102,7 @@ func (r *reactive) bindCacheEntry() {
 		_ = r.ref.Close()
 	}
 	r.ref = r.orb.Object(r.cache[r.cacheIdx].IOR)
+	r.bindTo(r.cache[r.cacheIdx])
 }
 
 // advance moves to the next replica after a failure.
@@ -152,7 +157,10 @@ func (p *proactive) Close() error {
 
 func (p *proactive) Invoke() (out Outcome) {
 	start := time.Now()
-	defer func() { out.RTT = time.Since(start) }()
+	defer func() {
+		out.RTT = time.Since(start)
+		p.record(&out)
+	}()
 
 	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
 		if p.ref == nil {
@@ -172,6 +180,7 @@ func (p *proactive) Invoke() (out Outcome) {
 			out.Err = err
 			return out
 		}
+		p.noteException(name)
 		out.Exceptions = append(out.Exceptions, name)
 		out.Failover = true
 		// Reactive fallback: next replica via the Naming Service.

@@ -78,6 +78,21 @@ func TestReactiveNoCacheExperiment(t *testing.T) {
 	if cf < sf/2 || cf > 2*sf+2 {
 		t.Fatalf("client/server failures = %d/%d, want roughly 1:1", cf, sf)
 	}
+	// The telemetry histograms and trace mirror the run: steady samples
+	// (invocations minus spikes), fail-over samples, and recovery events.
+	if res.SteadyHist.Count == 0 || res.FailoverHist.Count == 0 {
+		t.Fatalf("telemetry histograms empty: steady %d, failover %d",
+			res.SteadyHist.Count, res.FailoverHist.Count)
+	}
+	// Every client-0 fail-over sample landed in the histogram (which also
+	// absorbs failed invocations and other clients' hand-offs).
+	if int(res.FailoverHist.Count) < len(res.Failovers) {
+		t.Fatalf("failover histogram count %d below %d fail-over samples",
+			res.FailoverHist.Count, len(res.Failovers))
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("recovery trace empty despite failures")
+	}
 }
 
 func TestProactiveSchemesMaskFailures(t *testing.T) {
@@ -100,22 +115,21 @@ func TestProactiveSchemesMaskFailures(t *testing.T) {
 }
 
 func TestMeadFailoverFasterThanReactive(t *testing.T) {
-	// Sub-millisecond wall-clock means can invert under a loaded (race-
-	// enabled, -count=N) run; the paper's claim is about the steady state,
-	// so re-measure before declaring it violated.
-	var rf, mf time.Duration
-	for attempt := 0; attempt < 3; attempt++ {
-		reactive := run(t, compressed(ftmgr.ReactiveNoCache))
-		mead := run(t, compressed(ftmgr.MeadMessage))
-		rf, mf = reactive.MeanFailoverTime(), mead.MeanFailoverTime()
-		if rf == 0 || mf == 0 {
-			t.Fatalf("missing failover samples: reactive %v, mead %v", rf, mf)
-		}
-		if mf < rf {
-			return
-		}
+	// The fixed-seed runs feed every fail-over (across all clients) into
+	// the telemetry histogram; its median is robust to the scheduler-noise
+	// spikes that could invert sub-millisecond wall-clock means under a
+	// loaded (race-enabled, -count=N) run, so a single measurement per
+	// scheme suffices.
+	reactive := run(t, compressed(ftmgr.ReactiveNoCache))
+	mead := run(t, compressed(ftmgr.MeadMessage))
+	if reactive.FailoverHist.Count == 0 || mead.FailoverHist.Count == 0 {
+		t.Fatalf("missing failover samples: reactive %d, mead %d",
+			reactive.FailoverHist.Count, mead.FailoverHist.Count)
 	}
-	t.Fatalf("MEAD failover %v not below reactive %v in any of 3 runs", mf, rf)
+	rf, mf := reactive.FailoverHist.P50(), mead.FailoverHist.P50()
+	if mf >= rf {
+		t.Fatalf("MEAD median failover %v not below reactive %v", mf, rf)
+	}
 }
 
 func TestTable1ShapeMatchesPaper(t *testing.T) {
@@ -145,21 +159,18 @@ func TestTable1ShapeMatchesPaper(t *testing.T) {
 	if byScheme[ftmgr.ReactiveNoCache].ClientFailures == 0 {
 		t.Error("reactive baseline saw no failures")
 	}
-	// ...and MEAD's fail-over beats the reactive baseline's. A loaded run
-	// can invert sub-millisecond means by scheduler noise alone, so the
-	// claim only fails after fresh measurements agree with the inversion.
-	if byScheme[ftmgr.MeadMessage].FailoverMillis >= byScheme[ftmgr.ReactiveNoCache].FailoverMillis {
-		confirmed := true
-		for attempt := 0; attempt < 3 && confirmed; attempt++ {
-			r := run(t, compressed(ftmgr.ReactiveNoCache))
-			m := run(t, compressed(ftmgr.MeadMessage))
-			confirmed = m.MeanFailoverTime() >= r.MeanFailoverTime()
-		}
-		if confirmed {
-			t.Errorf("MEAD failover %.3fms not below reactive %.3fms",
-				byScheme[ftmgr.MeadMessage].FailoverMillis,
-				byScheme[ftmgr.ReactiveNoCache].FailoverMillis)
-		}
+	// ...and MEAD's fail-over beats the reactive baseline's. The fail-over
+	// histograms already cover every hand-off of the fixed-seed runs, and
+	// their medians are robust to the scheduler spikes that invert
+	// sub-millisecond means, so the claim is checked once, without
+	// re-measurement.
+	rh := results[ftmgr.ReactiveNoCache].FailoverHist
+	mh := results[ftmgr.MeadMessage].FailoverHist
+	if rh.Count == 0 || mh.Count == 0 {
+		t.Fatalf("missing failover histograms: reactive %d, mead %d", rh.Count, mh.Count)
+	}
+	if mh.P50() >= rh.P50() {
+		t.Errorf("MEAD median failover %v not below reactive %v", mh.P50(), rh.P50())
 	}
 	// Formatting round-trips.
 	text := table.Format()

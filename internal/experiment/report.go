@@ -29,14 +29,25 @@ func (r *Result) SteadyRTTs() []time.Duration {
 	return out
 }
 
-// MeanSteadyRTT is the mean undisturbed round-trip time.
+// MeanSteadyRTT is the mean undisturbed round-trip time. It reads the
+// telemetry steady-state histogram when the run recorded one (covering
+// every client), falling back to the client-0 RTT series for results built
+// without telemetry.
 func (r *Result) MeanSteadyRTT() time.Duration {
+	if r.SteadyHist.Count > 0 {
+		return r.SteadyHist.Mean()
+	}
 	return stats.Summarize(r.SteadyRTTs()).Mean
 }
 
 // MeanFailoverTime is the mean RTT of the invocations that performed a
-// fail-over — detection plus recovery, the paper's fail-over time.
+// fail-over — detection plus recovery, the paper's fail-over time. Like
+// MeanSteadyRTT it prefers the telemetry histogram, falling back to the
+// client-0 fail-over samples.
 func (r *Result) MeanFailoverTime() time.Duration {
+	if r.FailoverHist.Count > 0 {
+		return r.FailoverHist.Mean()
+	}
 	if len(r.Failovers) == 0 {
 		return 0
 	}
@@ -63,6 +74,12 @@ type Table1Row struct {
 	Scheme ftmgr.Scheme
 	// MeanRTTMicros is the mean undisturbed RTT.
 	MeanRTTMicros float64
+	// P50Micros, P99Micros and MaxMicros summarize the steady-state RTT
+	// distribution from the telemetry histogram (zero when the run was
+	// built without telemetry).
+	P50Micros float64
+	P99Micros float64
+	MaxMicros float64
 	// IncreaseRTTPct is the RTT overhead over the reactive-without-cache
 	// baseline.
 	IncreaseRTTPct float64
@@ -126,6 +143,11 @@ func BuildTable1(results map[ftmgr.Scheme]*Result) *Table1 {
 			ClientFailures: res.ClientFailures(),
 			Exceptions:     res.Exceptions,
 		}
+		if res.SteadyHist.Count > 0 {
+			row.P50Micros = float64(res.SteadyHist.P50()) / float64(time.Microsecond)
+			row.P99Micros = float64(res.SteadyHist.P99()) / float64(time.Microsecond)
+			row.MaxMicros = float64(res.SteadyHist.Max) / float64(time.Microsecond)
+		}
 		row.ClientFailurePct = res.ClientFailurePct()
 		if baseRTT > 0 {
 			row.IncreaseRTTPct = 100 * (float64(res.MeanSteadyRTT()) - baseRTT) / baseRTT
@@ -138,12 +160,15 @@ func BuildTable1(results map[ftmgr.Scheme]*Result) *Table1 {
 	return t
 }
 
-// Format renders the table in the paper's layout.
+// Format renders the table in the paper's layout, extended with the
+// steady-state distribution columns (p50/p99/max) read from the telemetry
+// histograms.
 func (t *Table1) Format() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-22s %12s %12s %14s %14s %12s\n",
-		"Recovery Strategy", "RTT (us)", "Incr RTT(%)", "ClientFail(%)", "Failover(ms)", "Change(%)")
-	sb.WriteString(strings.Repeat("-", 92))
+	fmt.Fprintf(&sb, "%-22s %12s %10s %10s %10s %12s %14s %14s %12s\n",
+		"Recovery Strategy", "RTT (us)", "p50 (us)", "p99 (us)", "max (us)",
+		"Incr RTT(%)", "ClientFail(%)", "Failover(ms)", "Change(%)")
+	sb.WriteString(strings.Repeat("-", 124))
 	sb.WriteByte('\n')
 	for _, row := range t.Rows {
 		change := fmt.Sprintf("%+.1f", row.FailoverChangePct)
@@ -152,8 +177,9 @@ func (t *Table1) Format() string {
 			change = "baseline"
 			incr = "baseline"
 		}
-		fmt.Fprintf(&sb, "%-22s %12.1f %12s %14.0f %14.3f %12s\n",
-			row.Scheme.String(), row.MeanRTTMicros, incr,
+		fmt.Fprintf(&sb, "%-22s %12.1f %10.1f %10.1f %10.1f %12s %14.0f %14.3f %12s\n",
+			row.Scheme.String(), row.MeanRTTMicros,
+			row.P50Micros, row.P99Micros, row.MaxMicros, incr,
 			row.ClientFailurePct, row.FailoverMillis, change)
 	}
 	return sb.String()

@@ -22,6 +22,7 @@ import (
 	"mead/internal/orb"
 	"mead/internal/recovery"
 	"mead/internal/replica"
+	"mead/internal/telemetry"
 )
 
 // Paper-scale defaults (Section 5: "a simple CORBA client ... requested the
@@ -156,6 +157,20 @@ type Result struct {
 	// (Figure 5).
 	GroupBytes uint64
 	Duration   time.Duration
+
+	// SteadyHist, FailoverHist and InvokeHist are the deployment-wide
+	// telemetry histograms, snapshotted at the end of the run. SteadyHist
+	// aggregates every client's undisturbed invocations (excluding each
+	// client's first), FailoverHist the invocations that performed a
+	// hand-off, and InvokeHist the raw transport round trips underneath
+	// them. Unlike RTTs/Failovers, these cover all clients, not just
+	// client 0.
+	SteadyHist   telemetry.Snapshot
+	FailoverHist telemetry.Snapshot
+	InvokeHist   telemetry.Snapshot
+	// Trace is the recovery-event trace accumulated during the run,
+	// oldest first.
+	Trace []telemetry.Event
 }
 
 // BandwidthBytesPerSec returns the server-group GCS bandwidth.
@@ -205,6 +220,7 @@ type Deployment struct {
 
 	svcCfg replica.ServiceConfig
 	chaos  *netfault.Injector // nil on a clean wire
+	tel    *telemetry.Telemetry
 
 	mu       sync.Mutex
 	replicas []*replica.Replica
@@ -214,7 +230,10 @@ type Deployment struct {
 // NewDeployment boots the scenario's system without driving a workload.
 func NewDeployment(sc Scenario) (*Deployment, error) {
 	sc = sc.withDefaults()
-	d := &Deployment{sc: sc}
+	d := &Deployment{
+		sc:  sc,
+		tel: telemetry.New(telemetry.WithScheme(sc.Scheme.String())),
+	}
 	if len(sc.Chaos) > 0 {
 		// The xor decorrelates the wire-jitter stream from the leak-fault
 		// and GCS-jitter streams while keeping one scenario seed.
@@ -224,7 +243,7 @@ func NewDeployment(sc Scenario) (*Deployment, error) {
 		}
 		d.chaos = inj
 	}
-	var hubOpts []gcs.HubOption
+	hubOpts := []gcs.HubOption{gcs.WithHubTelemetry(d.tel)}
 	if sc.GCSDelay > 0 {
 		hubOpts = append(hubOpts, gcs.WithDeliveryDelay(sc.GCSDelay))
 	}
@@ -236,6 +255,7 @@ func NewDeployment(sc Scenario) (*Deployment, error) {
 		return nil, err
 	}
 	d.names = namesvc.NewServer()
+	d.names.SetTelemetry(d.tel)
 	if err := d.names.Start("127.0.0.1:0"); err != nil {
 		d.Close()
 		return nil, err
@@ -255,6 +275,7 @@ func NewDeployment(sc Scenario) (*Deployment, error) {
 		MonitorInterval:  sc.MonitorInterval,
 		Objects:          sc.Objects,
 		Logf:             sc.Logf,
+		Telemetry:        d.tel,
 	}
 
 	names := make([]string, 0, sc.Replicas)
@@ -284,6 +305,7 @@ func NewDeployment(sc Scenario) (*Deployment, error) {
 		ProactiveDelay: sc.ProactiveDelay,
 		Factory:        recovery.FactoryFunc(d.launch),
 		Logf:           sc.Logf,
+		Telemetry:      d.tel,
 	})
 	if err != nil {
 		_ = rmMember.Close()
@@ -419,6 +441,7 @@ func (d *Deployment) NewClient() (client.Strategy, error) {
 		HubAddr:      d.hub.Addr(),
 		QueryTimeout: d.sc.QueryTimeout,
 		Dial:         d.clientDial(),
+		Telemetry:    d.tel,
 	})
 }
 
@@ -434,6 +457,11 @@ func (d *Deployment) clientDial() orb.DialFunc {
 // Chaos exposes the wire-fault injector (nil when the scenario has no
 // chaos plan); tests read its fired-event accounting.
 func (d *Deployment) Chaos() *netfault.Injector { return d.chaos }
+
+// Telemetry exposes the deployment-wide telemetry instance shared by the
+// hub, naming service, replicas, recovery manager and every client built
+// via NewClient or Drive.
+func (d *Deployment) Telemetry() *telemetry.Telemetry { return d.tel }
 
 // ServedRequests sums the application requests executed across every
 // replica instance launched so far. Compared with the clients' success
@@ -471,6 +499,7 @@ func (d *Deployment) Drive() (*Result, error) {
 			MemberName:   fmt.Sprintf("client-%d", i+1),
 			QueryTimeout: d.sc.QueryTimeout,
 			Dial:         d.clientDial(),
+			Telemetry:    d.tel,
 		})
 		if err != nil {
 			for _, s := range strats[:i] {
@@ -571,5 +600,9 @@ func (d *Deployment) finishResult(res *Result) *Result {
 	if exited > res.ServerFailures {
 		res.ServerFailures = exited
 	}
+	res.SteadyHist = d.tel.SteadyRTT.Snapshot()
+	res.FailoverHist = d.tel.FailoverRTT.Snapshot()
+	res.InvokeHist = d.tel.InvokeRTT.Snapshot()
+	res.Trace = d.tel.Events()
 	return res
 }

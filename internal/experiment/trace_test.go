@@ -1,0 +1,175 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"mead/internal/ftmgr"
+	"mead/internal/netfault"
+	"mead/internal/telemetry"
+)
+
+// traceStep is one golden recovery-trace entry: the event kind plus the
+// replica it concerns. For client-side events that carry only an address
+// (retransmit, conn-swapped), the replica is recovered through the
+// deployment's address table, so the golden reads the same either way.
+type traceStep struct {
+	kind    telemetry.EventKind
+	replica string
+}
+
+func (s traceStep) String() string { return fmt.Sprintf("%v(%s)", s.kind, s.replica) }
+
+// recoveryTrace drives one scheme×plan scenario and returns the recovery
+// trace as (kind, replica) steps. Request bookkeeping (EvRequestSent) is
+// filtered out: the conformance goldens describe recovery actions only.
+// Every retained event is also checked for the run's scheme label.
+func recoveryTrace(t *testing.T, scheme ftmgr.Scheme, plan netfault.Plan) []traceStep {
+	t.Helper()
+	d, err := NewDeployment(chaosScenario(scheme, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Drive(); err != nil {
+		t.Fatal(err)
+	}
+	addrToName := make(map[string]string)
+	for _, r := range d.Replicas() {
+		addrToName[r.Addr()] = r.Name()
+	}
+	var steps []traceStep
+	for _, ev := range d.Telemetry().Events() {
+		if ev.Kind == telemetry.EvRequestSent {
+			continue
+		}
+		if ev.Scheme != scheme.String() {
+			t.Errorf("event %v labelled scheme %q, want %q", ev.Kind, ev.Scheme, scheme)
+		}
+		name := ev.Replica
+		if name == "" {
+			name = addrToName[ev.Addr]
+		}
+		if name == "" {
+			t.Errorf("event %v (addr %q) maps to no known replica", ev.Kind, ev.Addr)
+		}
+		steps = append(steps, traceStep{kind: ev.Kind, replica: name})
+	}
+	return steps
+}
+
+func assertTrace(t *testing.T, got, want []traceStep) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("trace = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace step %d = %v, want %v\nfull trace: %v", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestTraceConformance replays deterministic wire-chaos plans under every
+// recovery scheme and golden-asserts the exact recovery-event sequence the
+// telemetry trace records. The goldens encode the schemes' recovery
+// mechanics:
+//
+//   - a clean wire (latency/jitter only) produces an empty recovery trace
+//     under every scheme — the zero-noise baseline;
+//   - schemes without a client interceptor (both reactive baselines and
+//     LOCATION_FORWARD) surface each cut as one application-visible
+//     COMM_FAILURE against the replica they were bound to, then rebind to
+//     the next replica — so the second cut names r2;
+//   - the interceptor schemes (NEEDS_ADDRESSING, MEAD) mask each cut by
+//     swapping the transport back to the primary and retransmitting the
+//     in-flight request — the application never sees an exception and the
+//     binding never leaves r1.
+func TestTraceConformance(t *testing.T) {
+	latencyJitter := chaosPlans()[0].plan
+	cutMidFrame := chaosPlans()[3].plan
+	cutAfterRequest := chaosPlans()[4].plan
+	if chaosPlans()[0].name != "latency-jitter" ||
+		chaosPlans()[3].name != "cut-request-mid-frame" ||
+		chaosPlans()[4].name != "cut-after-request" {
+		t.Fatal("chaosPlans ordering changed; update the golden plan picks")
+	}
+
+	reactiveGolden := []traceStep{
+		{telemetry.EvCommFailure, "r1"},
+		{telemetry.EvCommFailure, "r2"},
+	}
+	maskedGolden := []traceStep{
+		{telemetry.EvConnSwapped, "r1"},
+		{telemetry.EvRetransmit, "r1"},
+		{telemetry.EvConnSwapped, "r1"},
+		{telemetry.EvRetransmit, "r1"},
+	}
+
+	cases := []struct {
+		scheme ftmgr.Scheme
+		// golden is the expected trace for both destructive cut plans.
+		golden []traceStep
+	}{
+		{ftmgr.ReactiveNoCache, reactiveGolden},
+		{ftmgr.ReactiveCache, reactiveGolden},
+		{ftmgr.NeedsAddressing, maskedGolden},
+		{ftmgr.LocationForward, reactiveGolden},
+		{ftmgr.MeadMessage, maskedGolden},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.scheme.String(), func(t *testing.T) {
+			t.Run("latency-jitter", func(t *testing.T) {
+				assertTrace(t, recoveryTrace(t, tc.scheme, latencyJitter), nil)
+			})
+			t.Run("cut-request-mid-frame", func(t *testing.T) {
+				assertTrace(t, recoveryTrace(t, tc.scheme, cutMidFrame), tc.golden)
+			})
+			t.Run("cut-after-request", func(t *testing.T) {
+				assertTrace(t, recoveryTrace(t, tc.scheme, cutAfterRequest), tc.golden)
+			})
+		})
+	}
+}
+
+// TestTraceRejuvenationEvents runs the compressed fault-injection scenario
+// under MEAD and checks that the server-side recovery machinery reports
+// into the same trace: threshold crossings from the FT manager, proactive
+// MEAD fail-over frames at migration, the interceptor's connection swaps,
+// and the Recovery Manager's replica-departure observations. (Exact
+// sequences here depend on leak/scheduler timing, so this asserts presence
+// and labelling, not order.)
+func TestTraceRejuvenationEvents(t *testing.T) {
+	res := run(t, compressed(ftmgr.MeadMessage))
+	if res.ServerFailures == 0 {
+		t.Fatal("no rejuvenations happened")
+	}
+	counts := make(map[telemetry.EventKind]int)
+	for _, ev := range res.Trace {
+		counts[ev.Kind]++
+		switch ev.Kind {
+		case telemetry.EvThresholdCrossed:
+			if ev.Replica == "" || ev.Value < 50 || ev.Value > 100 {
+				t.Errorf("threshold event malformed: %+v", ev)
+			}
+		case telemetry.EvReplicaKilled:
+			if ev.Replica == "" {
+				t.Errorf("replica-killed event without a replica: %+v", ev)
+			}
+		}
+	}
+	for _, kind := range []telemetry.EventKind{
+		telemetry.EvThresholdCrossed,
+		telemetry.EvMeadFailover,
+		telemetry.EvConnSwapped,
+		telemetry.EvReplicaKilled,
+	} {
+		if counts[kind] == 0 {
+			t.Errorf("no %v events in the rejuvenation trace (counts: %v)", kind, counts)
+		}
+	}
+	if counts[telemetry.EvCommFailure] != 0 || counts[telemetry.EvTransient] != 0 {
+		t.Errorf("MEAD run leaked exceptions into the trace: %v", counts)
+	}
+}

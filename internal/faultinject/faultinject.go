@@ -29,6 +29,7 @@ import (
 
 	"mead/internal/resource"
 	"mead/internal/stats"
+	"mead/internal/telemetry"
 )
 
 // Defaults from Section 5.1 of the paper.
@@ -93,6 +94,8 @@ type Injector struct {
 	stopped   bool
 	stop      chan struct{}
 	done      chan struct{}
+
+	tel *telemetry.Telemetry // nil-safe; see Instrument
 }
 
 // New returns an injector leaking from budget.
@@ -123,6 +126,14 @@ func NewBudget(cfg Config) (*resource.Budget, error) {
 
 // Config returns the injector's effective configuration.
 func (in *Injector) Config() Config { return in.cfg }
+
+// Instrument attaches telemetry: every leak tick publishes the budget's
+// used/capacity levels as gauges. Call before Activate.
+func (in *Injector) Instrument(t *telemetry.Telemetry) {
+	in.mu.Lock()
+	in.tel = t
+	in.mu.Unlock()
+}
 
 // Activated reports whether the leak has started.
 func (in *Injector) Activated() bool {
@@ -166,13 +177,18 @@ func (in *Injector) Stop() {
 
 func (in *Injector) leak() {
 	defer close(in.done)
+	in.mu.Lock()
+	tel := in.tel
+	in.mu.Unlock()
 	ticker := time.NewTicker(in.cfg.Tick)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
 			chunk := int64(in.weibull.Sample() * float64(in.cfg.ChunkUnit))
-			if in.budget.Consume(chunk) {
+			exhausted := in.budget.Consume(chunk)
+			tel.LeakSample(in.budget.Used(), in.budget.Capacity())
+			if exhausted {
 				if in.onExhausted != nil {
 					in.onExhausted()
 				}

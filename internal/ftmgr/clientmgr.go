@@ -9,6 +9,7 @@ import (
 	"mead/internal/gcs"
 	"mead/internal/giop"
 	"mead/internal/interceptor"
+	"mead/internal/telemetry"
 )
 
 // DefaultQueryTimeout is the paper's 10 ms window for the NEEDS_ADDRESSING
@@ -51,6 +52,9 @@ type ClientConfig struct {
 	Dial DialFunc
 	// OnFailover observes completed hand-offs (metrics).
 	OnFailover func(FailoverEvent)
+	// Telemetry, when set, records fail-over notices, transport swaps, and
+	// interceptor-driven retransmissions as recovery-trace events.
+	Telemetry *telemetry.Telemetry
 }
 
 // ClientManager is the Proactive Fault-Tolerance Manager half embedded in
@@ -130,24 +134,29 @@ func (cm *ClientManager) meadHooks() interceptor.Hooks {
 	// recover repairs the stream after a wire fault killed the connection:
 	// prefer the already-dialed migration target (the fail-over notice beat
 	// the fault), otherwise reconnect to the same replica — a wire-level
-	// fault, unlike a crash, leaves the primary alive and reachable.
-	recover := func(c *interceptor.Conn) bool {
+	// fault, unlike a crash, leaves the primary alive and reachable. It
+	// reports the address the stream now points at.
+	recover := func(c *interceptor.Conn) (string, bool) {
 		if pending != nil {
 			c.SwapUnder(pending)
+			target := pendingTarget
 			pending = nil
-			cm.noteFailover(pendingTarget)
-			return true
+			cm.cfg.Telemetry.ConnSwapped(target)
+			cm.noteFailover(target)
+			return target, true
 		}
 		addr := c.Under().RemoteAddr()
 		if addr == nil {
-			return false
+			return "", false
 		}
-		newConn, err := cm.cfg.Dial("tcp", addr.String(), cm.cfg.DialTimeout)
+		target := addr.String()
+		newConn, err := cm.cfg.Dial("tcp", target, cm.cfg.DialTimeout)
 		if err != nil {
-			return false
+			return "", false
 		}
 		c.SwapUnder(newConn)
-		return true
+		cm.cfg.Telemetry.ConnSwapped(target)
+		return target, true
 	}
 	return interceptor.Hooks{
 		OnWriteFrame: func(c *interceptor.Conn, f giop.Frame) ([]byte, error) {
@@ -178,6 +187,7 @@ func (cm *ClientManager) meadHooks() interceptor.Hooks {
 				}
 				pending = newConn
 				pendingTarget = addr
+				cm.cfg.Telemetry.FailoverReceived(addr)
 				return nil, nil
 			case giop.FrameGIOP:
 				if f.Header.Type == giop.MsgReply && pending != nil {
@@ -186,6 +196,7 @@ func (cm *ClientManager) meadHooks() interceptor.Hooks {
 					// the next request already flows to the new replica.
 					c.SwapUnder(pending)
 					pending = nil
+					cm.cfg.Telemetry.ConnSwapped(pendingTarget)
 					cm.noteFailover(pendingTarget)
 				}
 				return f.Raw, nil
@@ -198,7 +209,10 @@ func (cm *ClientManager) meadHooks() interceptor.Hooks {
 			// wire fault rather than the managed migration. Repair the
 			// transport and fabricate NEEDS_ADDRESSING so the unmodified
 			// ORB retransmits the in-flight request.
-			if !haveRequest || !recover(c) {
+			if !haveRequest {
+				return nil, false
+			}
+			if _, ok := recover(c); !ok {
 				return nil, false
 			}
 			fabricated := giop.EncodeReply(lastOrder.Order, giop.ReplyHeader{
@@ -209,8 +223,13 @@ func (cm *ClientManager) meadHooks() interceptor.Hooks {
 		},
 		OnWriteError: func(c *interceptor.Conn, writeErr error) bool {
 			// The request frame itself failed to leave: repair and let the
-			// interceptor rewrite the frame on the fresh transport.
-			return recover(c)
+			// interceptor rewrite the frame on the fresh transport. The ORB
+			// never sees this resend, so the retransmit is recorded here.
+			target, ok := recover(c)
+			if ok {
+				cm.cfg.Telemetry.Retransmitted(target)
+			}
+			return ok
 		},
 	}
 }
@@ -252,8 +271,13 @@ func (cm *ClientManager) needsAddrHooks() interceptor.Hooks {
 		OnWriteError: func(c *interceptor.Conn, writeErr error) bool {
 			// The request died on the way out (e.g. a mid-frame reset).
 			// Redirect to the current primary and resume: the interceptor
-			// rewrites the whole frame, so no fabricated reply is needed.
-			return cm.redirectToPrimary(c)
+			// rewrites the whole frame, so no fabricated reply is needed —
+			// and the ORB never sees the resend, so it is recorded here.
+			target, ok := cm.redirectToPrimaryAddr(c)
+			if ok {
+				cm.cfg.Telemetry.Retransmitted(target)
+			}
+			return ok
 		},
 	}
 }
@@ -262,17 +286,25 @@ func (cm *ClientManager) needsAddrHooks() interceptor.Hooks {
 // for the agreed-upon primary within the query timeout, dial it, and swap
 // the interceptor's transport over.
 func (cm *ClientManager) redirectToPrimary(c *interceptor.Conn) bool {
+	_, ok := cm.redirectToPrimaryAddr(c)
+	return ok
+}
+
+// redirectToPrimaryAddr is redirectToPrimary, also reporting the primary's
+// address for telemetry labels.
+func (cm *ClientManager) redirectToPrimaryAddr(c *interceptor.Conn) (string, bool) {
 	primary, ok := cm.queryPrimary()
 	if !ok {
-		return false
+		return "", false
 	}
 	newConn, err := cm.cfg.Dial("tcp", primary.Addr, cm.cfg.DialTimeout)
 	if err != nil {
-		return false
+		return "", false
 	}
 	c.SwapUnder(newConn)
+	cm.cfg.Telemetry.ConnSwapped(primary.Addr)
 	cm.noteFailover(primary.Addr)
-	return true
+	return primary.Addr, true
 }
 
 // queryPrimary multicasts a primary query to the server group and waits for

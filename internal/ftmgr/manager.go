@@ -10,6 +10,7 @@ import (
 	"mead/internal/gcs"
 	"mead/internal/giop"
 	"mead/internal/interceptor"
+	"mead/internal/telemetry"
 )
 
 // Default thresholds from Section 3.2: "when the replica has used 80% of
@@ -63,6 +64,9 @@ type Config struct {
 	// ... and involved continuous periodic checking of resources") and
 	// which this implementation keeps only for the ablation benchmarks.
 	TimerDriven bool
+	// Telemetry, when set, records threshold crossings as recovery-trace
+	// events (with the usage percentage as the event value).
+	Telemetry *telemetry.Telemetry
 }
 
 // Manager is the server-side Proactive Fault-Tolerance Manager instance
@@ -357,6 +361,10 @@ func (m *Manager) checkThresholds() (migrate bool) {
 	}
 	migrate = m.migrating
 	m.mu.Unlock()
+
+	if sendNotice || fireMigrate {
+		m.cfg.Telemetry.ThresholdCrossed(m.cfg.ReplicaName, int64(usage*100))
+	}
 
 	if sendNotice {
 		_ = m.cfg.Member.Multicast(m.cfg.Group, EncodeNotice(Notice{

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mead/internal/cdr"
+	"mead/internal/telemetry"
 )
 
 // Hub is the group-communication sequencer: the single point through which
@@ -24,6 +25,7 @@ type Hub struct {
 	delay  time.Duration // artificial delivery latency (LAN emulation)
 	jitter time.Duration // uniform random extra latency per delivery
 	wrap   func(net.Conn) net.Conn
+	tel    *telemetry.Telemetry // nil-safe; see WithHubTelemetry
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -89,6 +91,12 @@ func WithDeliveryJitter(j time.Duration, seed int64) HubOption {
 		h.jitter = j
 		h.rng = rand.New(rand.NewSource(seed))
 	})
+}
+
+// WithHubTelemetry attaches the process telemetry: the hub counts data
+// multicasts delivered and views emitted.
+func WithHubTelemetry(t *telemetry.Telemetry) HubOption {
+	return hubOptionFunc(func(h *Hub) { h.tel = t })
 }
 
 type hubEventKind int
@@ -505,6 +513,7 @@ func (h *Hub) deliver(group, sender string, payload []byte) {
 	h.traffic[group] += frameLen(len(frame)) * uint64(len(recipients))
 	due := h.dueTime()
 	h.mu.Unlock()
+	h.tel.Multicast()
 	for _, hc := range recipients {
 		hc.enqueue(frame, due)
 	}
@@ -525,6 +534,7 @@ func (h *Hub) emitView(group string, g *hubGroup) {
 	h.traffic[group] += frameLen(len(frame)) * uint64(len(recipients))
 	due := h.dueTime()
 	h.mu.Unlock()
+	h.tel.ViewChange()
 	for _, hc := range recipients {
 		hc.enqueue(frame, due)
 	}

@@ -20,6 +20,7 @@ import (
 
 	"mead/internal/cdr"
 	"mead/internal/giop"
+	"mead/internal/telemetry"
 )
 
 // Wire opcodes.
@@ -56,8 +57,9 @@ type binding struct {
 
 // Server is the naming service daemon.
 type Server struct {
-	ln net.Listener
-	wg sync.WaitGroup
+	ln  net.Listener
+	wg  sync.WaitGroup
+	tel *telemetry.Telemetry // nil-safe; see SetTelemetry
 
 	mu       sync.Mutex
 	bindings map[string]*binding
@@ -69,6 +71,10 @@ type Server struct {
 func NewServer() *Server {
 	return &Server{bindings: make(map[string]*binding)}
 }
+
+// SetTelemetry attaches the process telemetry: every naming operation served
+// is counted. Call before Start.
+func (s *Server) SetTelemetry(t *telemetry.Telemetry) { s.tel = t }
 
 // Start begins serving on addr (e.g. "127.0.0.1:0").
 func (s *Server) Start(addr string) error {
@@ -205,6 +211,7 @@ func (s *Server) handle(frame []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.tel.NameOp()
 	e := cdr.NewEncoder(cdr.BigEndian)
 	switch op {
 	case opBind, opRebind:

@@ -9,6 +9,7 @@ import (
 
 	"mead/internal/cdr"
 	"mead/internal/giop"
+	"mead/internal/telemetry"
 )
 
 // ClientOption configures a ClientORB.
@@ -32,6 +33,15 @@ type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error
 // opens (private and pooled).
 func WithDialer(d DialFunc) ClientOption {
 	return clientOptionFunc(func(c *ClientORB) { c.dial = d })
+}
+
+// WithTelemetry attaches the process telemetry: the ORB records wire-level
+// counters, round-trip histograms, and recovery-trace events (request sent,
+// retransmit, forward taken, stale reply) on every invocation path. The
+// recording paths add no allocations; a nil Telemetry is equivalent to not
+// setting the option.
+func WithTelemetry(t *telemetry.Telemetry) ClientOption {
+	return clientOptionFunc(func(c *ClientORB) { c.tel = t })
 }
 
 // WithClientByteOrder sets the byte order of requests (default big-endian).
@@ -77,7 +87,8 @@ type ClientORB struct {
 	dialTimeout time.Duration
 	maxForwards int
 	maxBody     int
-	pool        *connPool // nil unless WithConnectionPool
+	pool        *connPool            // nil unless WithConnectionPool
+	tel         *telemetry.Telemetry // nil-safe; see WithTelemetry
 }
 
 // NewClient returns a client ORB.
@@ -132,6 +143,7 @@ type ObjectRef struct {
 
 	mu     sync.Mutex
 	ior    giop.IOR
+	addr   string // cached ior.Addr() of the live conn, for telemetry labels
 	conn   net.Conn
 	rd     *bufio.Reader // buffers reads from conn
 	nextID uint32
@@ -202,7 +214,9 @@ func (o *ObjectRef) connectLocked() error {
 		conn = o.orb.wrap(conn)
 	}
 	o.conn = conn
+	o.addr = addr
 	o.rd = bufio.NewReaderSize(conn, connReadBufSize)
+	o.orb.tel.ConnOpened(addr)
 	return nil
 }
 
@@ -234,10 +248,12 @@ func (o *ObjectRef) Invoke(op string, writeArgs func(*cdr.Encoder), readResult f
 			ObjectKey:        prof.ObjectKey,
 			Operation:        op,
 		}, writeArgs)
+		sentAt := time.Now()
 		if err := giop.WriteMessageFragmented(o.conn, msg, o.orb.maxBody); err != nil {
 			o.dropConnLocked()
 			return giop.CommFailure(10, giop.CompletedMaybe)
 		}
+		o.orb.tel.RequestSent(o.addr)
 
 		// The reply header, status body, and the decoder d all borrow mb;
 		// every exit from the switch below releases both before returning
@@ -268,6 +284,7 @@ func (o *ObjectRef) Invoke(op string, writeArgs func(*cdr.Encoder), readResult f
 				// stream still surfaces an error.
 				dec.Release()
 				b.Release()
+				o.orb.tel.StaleReply()
 				if skips >= maxStaleReplies {
 					o.dropConnLocked()
 					return &giop.SystemException{RepoID: giop.RepoInternal, Minor: 20, Completed: giop.CompletedMaybe}
@@ -277,6 +294,7 @@ func (o *ObjectRef) Invoke(op string, writeArgs func(*cdr.Encoder), readResult f
 			rh, d, mb = h, dec, b
 			break
 		}
+		o.orb.tel.ReplyReceived(time.Since(sentAt))
 
 		switch rh.Status {
 		case giop.ReplyNoException:
@@ -320,6 +338,10 @@ func (o *ObjectRef) Invoke(op string, writeArgs func(*cdr.Encoder), readResult f
 			o.dropConnLocked()
 			o.ior = fwd
 			o.stats.Forwards++
+			if tel := o.orb.tel; tel != nil {
+				a, _ := fwd.Addr()
+				tel.ForwardTaken(a)
+			}
 			continue
 		case giop.ReplyNeedsAddressingMode:
 			// "...causes the client-side ORB to retransmit its last request
@@ -328,6 +350,7 @@ func (o *ObjectRef) Invoke(op string, writeArgs func(*cdr.Encoder), readResult f
 			d.Release()
 			mb.Release()
 			o.stats.Retransmissions++
+			o.orb.tel.Retransmitted(o.addr)
 			continue
 		default:
 			d.Release()

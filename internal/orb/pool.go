@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"mead/internal/cdr"
 	"mead/internal/giop"
@@ -137,6 +138,7 @@ func (m *muxConn) dial() {
 	}
 	m.conn = conn
 	m.cw = newConnWriter(conn)
+	m.pool.orb.tel.ConnOpened(m.addr)
 	go m.readLoop()
 }
 
@@ -249,6 +251,7 @@ func (m *muxConn) deliver(id uint32, r muxReply) {
 		ch <- r
 		return
 	}
+	m.pool.orb.tel.StaleReply()
 	r.mb.Release()
 }
 
@@ -277,6 +280,8 @@ func (o *ObjectRef) invokePooled(op string, writeArgs func(*cdr.Encoder), readRe
 		if err != nil {
 			return err
 		}
+		sentAt := time.Now()
+		o.orb.tel.RequestSent(addr)
 		hdr, mb, err := mc.roundTrip(func(reqID uint32) []byte {
 			return giop.EncodeRequest(o.orb.order, giop.RequestHeader{
 				RequestID:        reqID,
@@ -288,6 +293,7 @@ func (o *ObjectRef) invokePooled(op string, writeArgs func(*cdr.Encoder), readRe
 		if err != nil {
 			return err
 		}
+		o.orb.tel.ReplyReceived(time.Since(sentAt))
 		// roundTrip handed us ownership of mb; rh and d borrow it, so every
 		// exit below releases both before returning (or retransmitting).
 		if hdr.Type != giop.MsgReply {
@@ -340,6 +346,10 @@ func (o *ObjectRef) invokePooled(op string, writeArgs func(*cdr.Encoder), readRe
 			o.ior = fwd
 			o.stats.Forwards++
 			o.mu.Unlock()
+			if tel := o.orb.tel; tel != nil {
+				a, _ := fwd.Addr()
+				tel.ForwardTaken(a)
+			}
 			continue
 		case giop.ReplyNeedsAddressingMode:
 			d.Release()
@@ -347,6 +357,7 @@ func (o *ObjectRef) invokePooled(op string, writeArgs func(*cdr.Encoder), readRe
 			o.mu.Lock()
 			o.stats.Retransmissions++
 			o.mu.Unlock()
+			o.orb.tel.Retransmitted(addr)
 			continue
 		default:
 			d.Release()

@@ -19,9 +19,11 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mead/internal/cdr"
 	"mead/internal/giop"
+	"mead/internal/telemetry"
 )
 
 // connReadBufSize sizes the buffered reader over each connection; one fill
@@ -97,6 +99,14 @@ func WithServerMaxBodyBytes(n int) ServerOption {
 	return serverOptionFunc(func(s *ServerORB) { s.maxBody = n })
 }
 
+// WithServerTelemetry attaches the process telemetry: the ORB records a
+// dispatch count and servant-latency histogram per executed request. The
+// recording path adds no allocations; a nil Telemetry is equivalent to not
+// setting the option.
+func WithServerTelemetry(t *telemetry.Telemetry) ServerOption {
+	return serverOptionFunc(func(s *ServerORB) { s.tel = t })
+}
+
 // WithConnClosedHook registers a callback invoked (with the remaining
 // active-connection count) whenever a client connection closes. The
 // proactive fault-tolerance manager uses it to detect quiescence before
@@ -113,6 +123,7 @@ type ServerORB struct {
 	onConnClosed func(active int)
 	maxBody      int
 	served       atomic.Uint64
+	tel          *telemetry.Telemetry // nil-safe; see WithServerTelemetry
 
 	ln net.Listener
 	wg sync.WaitGroup
@@ -377,7 +388,9 @@ func (s *ServerORB) dispatchRequest(conn net.Conn, cw *connWriter, hdr giop.Requ
 		}
 	default:
 		s.served.Add(1)
+		began := time.Now()
 		err := servant.Invoke(hdr.Operation, args, result)
+		s.tel.Dispatched(time.Since(began))
 		switch {
 		case err == nil:
 			status = giop.ReplyNoException

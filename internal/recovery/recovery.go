@@ -18,6 +18,7 @@ import (
 
 	"mead/internal/ftmgr"
 	"mead/internal/gcs"
+	"mead/internal/telemetry"
 )
 
 // Factory launches a fresh instance of the named replica. The experiment
@@ -61,6 +62,9 @@ type Config struct {
 	Factory Factory
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...interface{})
+	// Telemetry, when set, records replica departures as recovery-trace
+	// events and counts relaunches.
+	Telemetry *telemetry.Telemetry
 }
 
 // Manager is the MEAD Recovery Manager.
@@ -236,6 +240,7 @@ func (m *Manager) reconcile(v gcs.View) {
 			// A previously-alive replica left: crash or rejuvenation.
 			m.alive[name] = false
 			m.failures++
+			m.cfg.Telemetry.ReplicaKilled(name)
 			m.scheduleLocked(name)
 		case !m.pending[name] && m.anyAliveLocked(inView):
 			// Replica missing from a view we participate in and not yet
@@ -288,5 +293,6 @@ func (m *Manager) scheduleLocked(name string) {
 		m.mu.Lock()
 		m.launches++
 		m.mu.Unlock()
+		m.cfg.Telemetry.Relaunched(name)
 	}()
 }

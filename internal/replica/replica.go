@@ -21,6 +21,7 @@ import (
 	"mead/internal/namesvc"
 	"mead/internal/orb"
 	"mead/internal/resource"
+	"mead/internal/telemetry"
 )
 
 // ExitReason records why a replica instance terminated.
@@ -103,6 +104,10 @@ type ServiceConfig struct {
 	Objects int
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...interface{})
+	// Telemetry, when set, is threaded into the server ORB (dispatch
+	// histogram), the FT manager (threshold-crossing events), and the fault
+	// injector (leak-level gauges).
+	Telemetry *telemetry.Telemetry
 }
 
 // Group returns the service's GCS group name ("new server replicas join a
@@ -204,6 +209,7 @@ func (r *Replica) Start() error {
 		if err != nil {
 			return fmt.Errorf("replica %s: %w", r.name, err)
 		}
+		r.injector.Instrument(r.cfg.Telemetry)
 	}
 
 	if r.member, err = gcs.Dial(r.cfg.HubAddr, r.name); err != nil {
@@ -236,6 +242,7 @@ func (r *Replica) Start() error {
 		Adaptive:         adaptive,
 		TimerDriven:      r.cfg.MonitorInterval > 0,
 		Member:           r.member,
+		Telemetry:        r.cfg.Telemetry,
 		OnFirstRequest: func() {
 			if r.injector != nil {
 				_ = r.injector.Activate()
@@ -254,6 +261,7 @@ func (r *Replica) Start() error {
 	r.state = &clockState{}
 	r.srv = orb.NewServer(
 		orb.WithServerConnWrapper(r.mgr.WrapServerConn),
+		orb.WithServerTelemetry(r.cfg.Telemetry),
 		orb.WithConnClosedHook(func(active int) {
 			if active == 0 {
 				go r.maybeRejuvenate()

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterShards is the number of independent cache lines one Counter
+// spreads its increments over. Eight lines absorb the contention of the
+// 64-caller pipelined workload without making Value() reads expensive.
+const counterShards = 8
+
+// counterShard is one padded slot: the value occupies its own cache line so
+// concurrent writers on different shards never false-share.
+type counterShard struct {
+	v atomic.Uint64
+	_ [56]byte // pad to 64 bytes
+}
+
+// Counter is a lock-free, shard-striped monotonic counter. The zero value
+// is ready to use. Add is wait-free and allocation-free; Value folds the
+// shards and may be slightly stale relative to concurrent adders, which is
+// fine for metrics.
+type Counter struct {
+	shards [counterShards]counterShard
+}
+
+// shardHint spreads goroutines over shards using the goroutine's stack
+// address: stacks are at least a page apart, so the low-ish bits above the
+// cache-line bits differ between goroutines. The local never escapes (the
+// unsafe.Pointer is converted to uintptr immediately), so this is free.
+func shardHint() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>10) & (counterShards - 1)
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	c.shards[shardHint()].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is an instantaneous level (e.g. leaked bytes). The zero value is
+// ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }

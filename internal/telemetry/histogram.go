@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// The histogram is log-linear (HdrHistogram-style): values below 16 ns get
+// exact one-nanosecond buckets; above that, each power-of-two range is
+// split into 16 linear sub-buckets, so any recorded value is off by at
+// most 1/16 (6.25%) of itself. With histMaxShift 31 the top finite bucket
+// ends just below 2^36 ns (~68.7 s); anything larger lands in the overflow
+// bucket and is reported as the exact observed maximum.
+const (
+	histSubBuckets = 16
+	histMaxShift   = 31
+	// histNumBuckets: shift ranges over [0, histMaxShift], and within a
+	// shift the index (u>>shift) ranges over [0, 31] for shift 0 and
+	// [16, 31] otherwise, giving a dense index space of
+	// histMaxShift*16 + 32 finite buckets plus one overflow slot.
+	histNumBuckets = histMaxShift*histSubBuckets + 2*histSubBuckets + 1
+	histOverflow   = histNumBuckets - 1
+)
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	u := uint64(v)
+	shift := bits.Len64(u) - 5 // keep the top 5 bits (16 sub-buckets)
+	if shift <= 0 {
+		return int(u)
+	}
+	if shift > histMaxShift {
+		return histOverflow
+	}
+	return shift*histSubBuckets + int(u>>uint(shift))
+}
+
+// bucketUpper returns the largest value a finite bucket can hold.
+func bucketUpper(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	shift := idx/histSubBuckets - 1
+	t := idx - shift*histSubBuckets
+	return int64(t+1)<<uint(shift) - 1
+}
+
+// Histogram records a latency distribution in fixed buckets: p50/p99/max
+// come out without storing samples, and Observe is lock-free and
+// allocation-free. The zero value is ready to use.
+type Histogram struct {
+	count Counter
+	sum   Counter
+	max   Gauge
+	// buckets are plain atomics (not shard-striped): one histogram has
+	// hundreds of buckets, so concurrent observers of a real latency
+	// distribution rarely collide on a line.
+	buckets [histNumBuckets]Gauge
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.count.Inc()
+	h.sum.Add(uint64(v))
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		cur := h.max.Value()
+		if v <= cur {
+			break
+		}
+		if h.max.v.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Snapshot captures a point-in-time copy. Concurrent Observes may tear
+// across fields by a sample or two; for metrics that is acceptable.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	s.Count = h.count.Value()
+	s.Sum = time.Duration(h.sum.Value())
+	s.Max = time.Duration(h.max.Value())
+	for i := range h.buckets {
+		s.Buckets[i] = uint64(h.buckets[i].Value())
+	}
+	return s
+}
+
+// Snapshot is an immutable copy of a histogram, safe to merge and query.
+type Snapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Max     time.Duration
+	Buckets [histNumBuckets]uint64
+}
+
+// Merge folds another snapshot (e.g. a different shard's) into s.
+func (s *Snapshot) Merge(o Snapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the average recorded duration (0 when empty).
+func (s Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) as the upper bound of
+// the bucket holding that rank, clamped to the observed maximum; an empty
+// snapshot yields 0. The log-linear bucketing bounds the relative error at
+// 1/16 and guarantees monotonicity: p50 <= p99 <= Max.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			if i == histOverflow {
+				return s.Max
+			}
+			upper := time.Duration(bucketUpper(i))
+			if upper > s.Max {
+				upper = s.Max
+			}
+			return upper
+		}
+	}
+	return s.Max
+}
+
+// P50 is the median.
+func (s Snapshot) P50() time.Duration { return s.Quantile(0.50) }
+
+// P99 is the 99th percentile.
+func (s Snapshot) P99() time.Duration { return s.Quantile(0.99) }

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	if s.P50() != 0 || s.P99() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty quantiles not zero: p50=%v p99=%v mean=%v", s.P50(), s.P99(), s.Mean())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(1234 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	want := 1234 * time.Microsecond
+	if s.Max != want || s.Sum != want {
+		t.Fatalf("max=%v sum=%v, want %v", s.Max, s.Sum, want)
+	}
+	// With one sample every quantile is that sample (clamped to Max).
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != want {
+			t.Fatalf("Quantile(%g) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	// Exact buckets below histSubBuckets.
+	for v := int64(0); v < histSubBuckets; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, v)
+		}
+		if got := bucketUpper(int(v)); got != v {
+			t.Fatalf("bucketUpper(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Every value must land in a bucket whose upper bound is >= the value
+	// and within 1/16 relative error.
+	vals := []int64{15, 16, 17, 31, 32, 33, 63, 64, 127, 128, 1000, 4095, 4096,
+		1 << 20, (1 << 20) + 1, 1<<36 - 1}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx == histOverflow {
+			t.Fatalf("bucketIndex(%d) overflowed", v)
+		}
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("bucketUpper(bucketIndex(%d)) = %d < value", v, up)
+		}
+		if float64(up-v) > float64(v)/16+1 {
+			t.Fatalf("value %d bucket upper %d: relative error > 1/16", v, up)
+		}
+		// Bucket indexes must be monotonic in the value.
+		if idx2 := bucketIndex(v + 1); idx2 < idx {
+			t.Fatalf("bucketIndex not monotonic at %d: %d then %d", v, idx, idx2)
+		}
+	}
+	// Adjacent buckets tile the value space: upper(i)+1 lands in bucket > i.
+	for i := 0; i < histOverflow-1; i++ {
+		up := bucketUpper(i)
+		if got := bucketIndex(up); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		if got := bucketIndex(up + 1); got != i+1 {
+			t.Fatalf("bucketIndex(%d+1) = %d, want %d", up, got, i+1)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	huge := time.Duration(1) << 40 // ~18 min, beyond the top finite bucket
+	h.Observe(huge)
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Buckets[histOverflow] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Buckets[histOverflow])
+	}
+	if s.Max != huge {
+		t.Fatalf("max = %v, want %v", s.Max, huge)
+	}
+	// The top quantile must report the exact observed max, not a bucket bound.
+	if got := s.Quantile(1); got != huge {
+		t.Fatalf("Quantile(1) = %v, want %v", got, huge)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Buckets[0] != 1 || s.Sum != 0 {
+		t.Fatalf("negative observation not clamped to zero: %+v", s)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(time.Duration(i) * time.Microsecond)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Merge(sb)
+	if merged.Count != 200 {
+		t.Fatalf("merged count = %d, want 200", merged.Count)
+	}
+	if merged.Max != sb.Max {
+		t.Fatalf("merged max = %v, want %v", merged.Max, sb.Max)
+	}
+	if merged.Sum != sa.Sum+sb.Sum {
+		t.Fatalf("merged sum = %v, want %v", merged.Sum, sa.Sum+sb.Sum)
+	}
+	// Merged distribution must equal observing everything in one histogram.
+	var all Histogram
+	for i := 1; i <= 200; i++ {
+		all.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got, want := merged.P50(), all.Snapshot().P50(); got != want {
+		t.Fatalf("merged p50 = %v, combined p50 = %v", got, want)
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Observe(time.Duration(rng.Int63n(int64(50 * time.Millisecond))))
+	}
+	s := h.Snapshot()
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotonic: Quantile(%g)=%v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+	if s.P50() > s.P99() || s.P99() > s.Max {
+		t.Fatalf("p50=%v p99=%v max=%v violate p50<=p99<=max", s.P50(), s.P99(), s.Max)
+	}
+}
+
+// TestQuantileKnownDistributions checks histogram quantiles against the
+// exact sample quantiles of analytically known inputs, within the 1/16
+// relative-error bound of log-linear bucketing.
+func TestQuantileKnownDistributions(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() []int64
+	}{
+		{"uniform-1..10000", func() []int64 {
+			out := make([]int64, 10000)
+			for i := range out {
+				out[i] = int64(i + 1)
+			}
+			return out
+		}},
+		{"exponential", func() []int64 {
+			rng := rand.New(rand.NewSource(11))
+			out := make([]int64, 20000)
+			for i := range out {
+				out[i] = int64(rng.ExpFloat64() * 1e6)
+			}
+			return out
+		}},
+		{"bimodal", func() []int64 {
+			// 95% fast ops near 100µs, 5% slow near 50ms — the classic
+			// fail-over-tail shape from the paper's measurements.
+			rng := rand.New(rand.NewSource(13))
+			out := make([]int64, 10000)
+			for i := range out {
+				if rng.Float64() < 0.95 {
+					out[i] = int64(100_000 + rng.Int63n(10_000))
+				} else {
+					out[i] = int64(50_000_000 + rng.Int63n(1_000_000))
+				}
+			}
+			return out
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vals := tc.gen()
+			var h Histogram
+			for _, v := range vals {
+				h.Observe(time.Duration(v))
+			}
+			s := h.Snapshot()
+			sorted := append([]int64(nil), vals...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+				exact := float64(sorted[rank])
+				got := float64(s.Quantile(q))
+				if relerr := math.Abs(got-exact) / exact; relerr > 1.0/16+1e-9 {
+					t.Fatalf("Quantile(%g) = %v, exact %v, rel err %.4f > 1/16",
+						q, got, exact, relerr)
+				}
+			}
+			if got := time.Duration(sorted[len(sorted)-1]); s.Max != got {
+				t.Fatalf("max = %v, want %v", s.Max, got)
+			}
+			exactMean := 0.0
+			for _, v := range vals {
+				exactMean += float64(v)
+			}
+			exactMean /= float64(len(vals))
+			// Mean is exact up to integer truncation of Sum/Count.
+			if diff := math.Abs(float64(s.Mean()) - exactMean); diff > 1 {
+				t.Fatalf("mean = %v, exact %v", s.Mean(), exactMean)
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"mead/internal/recovery"
 	"mead/internal/replica"
 	"mead/internal/stats"
+	"mead/internal/telemetry"
 )
 
 // Core types re-exported from the implementation packages.
@@ -70,6 +71,22 @@ type (
 	Factory = recovery.Factory
 	// FactoryFunc adapts a function to Factory.
 	FactoryFunc = recovery.FactoryFunc
+
+	// Telemetry is a process-wide observability instance: lock-free
+	// counters, latency histograms, and the bounded recovery-event trace.
+	// All methods are nil-safe, so an unset *Telemetry disables
+	// instrumentation with no further checks.
+	Telemetry = telemetry.Telemetry
+	// TelemetrySnapshot is a point-in-time histogram snapshot (count, sum,
+	// max, quantiles).
+	TelemetrySnapshot = telemetry.Snapshot
+	// TraceEvent is one recovery-trace entry.
+	TraceEvent = telemetry.Event
+	// MetricsServer serves /metrics (Prometheus or JSON) and /trace (JSONL)
+	// over HTTP.
+	MetricsServer = telemetry.Server
+	// HubOption configures the group-communication hub.
+	HubOption = gcs.HubOption
 
 	// Series is a labelled RTT series (Figures 3 and 4).
 	Series = stats.Series
@@ -138,7 +155,24 @@ func FormatSweep(points []SweepPoint) string { return experiment.FormatSweep(poi
 func RunFaultFree(template Scenario) (*Result, error) { return experiment.RunFaultFree(template) }
 
 // NewHub returns an unstarted group-communication hub.
-func NewHub() *Hub { return gcs.NewHub() }
+func NewHub(opts ...HubOption) *Hub { return gcs.NewHub(opts...) }
+
+// WithHubTelemetry attaches telemetry to a hub (multicast and view-change
+// counters).
+func WithHubTelemetry(t *Telemetry) HubOption { return gcs.WithHubTelemetry(t) }
+
+// NewTelemetry returns a telemetry instance labelled with scheme (usually a
+// Scheme's String form; empty for scheme-less processes like the hub).
+func NewTelemetry(scheme string) *Telemetry {
+	return telemetry.New(telemetry.WithScheme(scheme))
+}
+
+// ServeMetrics starts an HTTP endpoint on addr exposing t at /metrics
+// (Prometheus text format; JSON via ?format=json or Accept) and the
+// recovery-event trace at /trace (JSONL).
+func ServeMetrics(addr string, t *Telemetry) (*MetricsServer, error) {
+	return telemetry.Serve(addr, t)
+}
 
 // NewNamingServer returns an unstarted Naming Service.
 func NewNamingServer() *NamingServer { return namesvc.NewServer() }
