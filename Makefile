@@ -1,11 +1,18 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check fmt-check vet build test bench-smoke bench fuzz-smoke chaos-smoke metrics-smoke
+# BENCH_ID numbers the committed benchmark snapshot (BENCH_$(BENCH_ID).json);
+# bump it when a PR re-baselines the perf gate.
+BENCH_ID ?= 6
+BENCH_PATTERN = GIOPRequestEncode|GIOPRequestDecode|GIOPReplyDecode|SerializedInvocations|PipelinedInvocations|InvokePipelined
+
+.PHONY: check fmt-check vet build test bench-smoke bench bench-json bench-compare fuzz-smoke chaos-smoke metrics-smoke
 
 ## check: the full verification gate — formatting, static analysis, build,
 ## race-enabled tests, and a one-iteration smoke pass over every benchmark
-## (which also exercises the alloc-reporting paths).
+## (which also exercises the alloc-reporting paths). Run `make bench-compare`
+## afterwards to gate wire-path performance against the committed
+## BENCH_$(BENCH_ID).json snapshot, and `make bench-json` to re-baseline it.
 check: fmt-check vet build test bench-smoke
 
 ## fmt-check: fail (listing the offenders) when any tracked Go file is not
@@ -48,6 +55,25 @@ bench-smoke:
 ## invocation throughput).
 bench:
 	$(GO) test -run '^$$' -bench 'GIOPRequestEncode|GIOPRequestDecode|GIOPReplyDecode|RequestParse|Invocations' -benchmem -benchtime=20000x .
+
+## bench-json: write the machine-readable benchmark snapshot
+## BENCH_$(BENCH_ID).json at the repo root — the perf-gate baseline that CI
+## compares fresh runs against. Runs the wire-path benches repeatedly at
+## GOMAXPROCS 1/2/4 and keeps the per-bench minimum ns/op (maximum
+## allocs/op). Pure go; no external tools.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10000x -count=3 -cpu 1,2,4 . \
+		| $(GO) run ./scripts/benchjson > BENCH_$(BENCH_ID).json
+	@echo "wrote BENCH_$(BENCH_ID).json"
+
+## bench-compare: re-measure the wire-path benches and fail if any regresses
+## more than 15% in ns/op (or allocates more on a zero-alloc-guarded path)
+## against the committed BENCH_$(BENCH_ID).json. This is the CI perf gate.
+bench-compare:
+	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=10000x -count=3 -cpu 1,2,4 . \
+		| $(GO) run ./scripts/benchjson > "$$tmp" && \
+	$(GO) run ./scripts/benchcompare BENCH_$(BENCH_ID).json "$$tmp"
 
 ## fuzz-smoke: a short burst over each fuzz target (decode paths and the CDR
 ## string reader) to keep them healthy; CI-friendly at ~30s total.

@@ -1,0 +1,178 @@
+package giop
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mead/internal/cdr"
+)
+
+// buildBatch concatenates complete messages under one batch header, the way
+// the vectored writer does on the wire.
+func buildBatch(order cdr.ByteOrder, msgs ...[]byte) []byte {
+	var body []byte
+	for _, m := range msgs {
+		body = append(body, m...)
+	}
+	frame := make([]byte, HeaderLen+len(body))
+	PutBatchHeader(frame, order, len(body))
+	copy(frame[HeaderLen:], body)
+	return frame
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	reqs := [][]byte{
+		EncodeRequest(cdr.BigEndian, RequestHeader{RequestID: 1, ResponseExpected: true, ObjectKey: []byte("k1"), Operation: "alpha"}, nil),
+		EncodeRequest(cdr.BigEndian, RequestHeader{RequestID: 2, ObjectKey: []byte("k2"), Operation: "beta"},
+			func(e *cdr.Encoder) { e.WriteULongLong(42) }),
+		EncodeRequest(cdr.LittleEndian, RequestHeader{RequestID: 3, ObjectKey: []byte("k3"), Operation: "gamma"}, nil),
+	}
+	frame := buildBatch(cdr.BigEndian, reqs...)
+
+	h, err := ParseHeader(frame[:HeaderLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != MsgBatch {
+		t.Fatalf("type = %v, want Batch", h.Type)
+	}
+	if int(h.Size) != len(frame)-HeaderLen {
+		t.Fatalf("size = %d, want %d", h.Size, len(frame)-HeaderLen)
+	}
+
+	var got []uint32
+	err = ForEachInBatch(frame[HeaderLen:], func(sh Header, body []byte) error {
+		if sh.Type != MsgRequest {
+			t.Fatalf("sub-frame type = %v", sh.Type)
+		}
+		hdr, d, err := DecodeRequest(sh.Order, body)
+		if err != nil {
+			return err
+		}
+		d.Release()
+		got = append(got, hdr.RequestID)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("decoded request ids = %v, want [1 2 3]", got)
+	}
+}
+
+// TestBatchSubFrameBodiesAlias asserts the walk is zero-copy: each body
+// slice points into the batch buffer.
+func TestBatchSubFrameBodiesAlias(t *testing.T) {
+	req := EncodeRequest(cdr.BigEndian, RequestHeader{RequestID: 9, ObjectKey: []byte("k"), Operation: "op"}, nil)
+	frame := buildBatch(cdr.BigEndian, req, req)
+	batch := frame[HeaderLen:]
+	err := ForEachInBatch(batch, func(sh Header, body []byte) error {
+		if len(body) == 0 {
+			t.Fatal("empty sub-body")
+		}
+		if !sliceWithin(batch, body) {
+			t.Fatal("sub-body does not alias the batch buffer")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sliceWithin(outer, inner []byte) bool {
+	if len(inner) == 0 {
+		return true
+	}
+	for i := range outer {
+		if &outer[i] == &inner[0] {
+			return i+len(inner) <= len(outer)
+		}
+	}
+	return false
+}
+
+// TestBatchOversizedFrameTooLarge is the bounded-reader guarantee on the
+// batch path: both an oversized batch frame and an oversized sub-frame
+// inside an accepted batch surface ErrTooLarge instead of an unbounded
+// read.
+func TestBatchOversizedFrameTooLarge(t *testing.T) {
+	prev := SetMaxMessageSize(256)
+	defer SetMaxMessageSize(prev)
+
+	// Outer batch header larger than the limit: rejected at header parse,
+	// before any body is read.
+	var outer [HeaderLen]byte
+	PutBatchHeader(outer[:], cdr.BigEndian, 10<<20)
+	if _, err := ParseHeader(outer[:]); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized batch header: err = %v, want ErrTooLarge", err)
+	}
+
+	// Sub-frame header inside an accepted batch claiming an oversized body.
+	var sub [HeaderLen]byte
+	putHeader(sub[:], Header{Major: VersionMajor, Minor: VersionMinor, Type: MsgRequest, Size: 100 << 20})
+	err := ForEachInBatch(sub[:], func(Header, []byte) error { return nil })
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized sub-frame: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestBatchRejectsMalformedSubFrames(t *testing.T) {
+	req := EncodeRequest(cdr.BigEndian, RequestHeader{RequestID: 1, ObjectKey: []byte("k"), Operation: "op"}, nil)
+
+	t.Run("nested batch", func(t *testing.T) {
+		inner := buildBatch(cdr.BigEndian, req)
+		frame := buildBatch(cdr.BigEndian, inner)
+		err := ForEachInBatch(frame[HeaderLen:], func(Header, []byte) error { return nil })
+		if !errors.Is(err, ErrBatchedFrame) {
+			t.Fatalf("err = %v, want ErrBatchedFrame", err)
+		}
+	})
+
+	t.Run("fragmented sub-message", func(t *testing.T) {
+		frag := append([]byte(nil), req...)
+		frag[6] |= FlagMoreFragments
+		err := ForEachInBatch(frag, func(Header, []byte) error { return nil })
+		if !errors.Is(err, ErrBatchedFrame) {
+			t.Fatalf("err = %v, want ErrBatchedFrame", err)
+		}
+	})
+
+	t.Run("trailing garbage", func(t *testing.T) {
+		torn := append(append([]byte(nil), req...), 0xde, 0xad)
+		err := ForEachInBatch(torn, func(Header, []byte) error { return nil })
+		if err == nil {
+			t.Fatal("torn trailing bytes accepted")
+		}
+	})
+
+	t.Run("sub-frame exceeding remainder", func(t *testing.T) {
+		truncated := append([]byte(nil), req...)
+		truncated = truncated[:len(truncated)-1]
+		err := ForEachInBatch(truncated, func(Header, []byte) error { return nil })
+		if !errors.Is(err, ErrBatchedFrame) {
+			t.Fatalf("err = %v, want ErrBatchedFrame", err)
+		}
+	})
+}
+
+// TestMsgBufRetainRelease covers the refcounting batch dispatch relies on:
+// the buffer recycles only after the last reference drops, and the contents
+// stay intact for every holder.
+func TestMsgBufRetainRelease(t *testing.T) {
+	mb := GetMsgBuf(64)
+	copy(mb.Bytes(), bytes.Repeat([]byte{0xAB}, 64))
+	mb.Retain()
+	mb.Retain()
+
+	mb.Release() // reader's reference
+	mb.Release() // first dispatch
+	for _, b := range mb.Bytes() {
+		if b != 0xAB {
+			t.Fatal("buffer recycled while references remained")
+		}
+	}
+	mb.Release() // last dispatch; recycles
+}

@@ -1,6 +1,9 @@
 package giop
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pooled inbound message buffers.
 //
@@ -16,7 +19,9 @@ import "sync"
 // owns it until it hands it off (e.g. through a reply channel or to a
 // dispatch goroutine); exactly one owner calls Release, after which the
 // buffer — and everything borrowed from it by the zero-copy decoders — is
-// dead.
+// dead. Batch frames relax this to a reference count: each sub-request
+// dispatched from one batch body Retains the buffer, and the last Release
+// recycles it (docs/PROTOCOL.md §10).
 
 // msgBufClasses are the pooled capacity classes. Class 0 covers the common
 // small request/reply bodies, class 1 typical argument payloads, class 2
@@ -39,7 +44,8 @@ func init() {
 // a bare slice) round-trips through sync.Pool without boxing allocations,
 // which is what keeps Release itself free.
 type MsgBuf struct {
-	b []byte
+	b    []byte
+	refs atomic.Int32
 }
 
 // Bytes returns the buffer's current contents.
@@ -62,18 +68,32 @@ func classFor(n int) int {
 func GetMsgBuf(n int) *MsgBuf {
 	ci := classFor(n)
 	if ci < 0 {
-		return &MsgBuf{b: make([]byte, n)}
+		m := &MsgBuf{b: make([]byte, n)}
+		m.refs.Store(1)
+		return m
 	}
 	m := msgBufPools[ci].Get().(*MsgBuf)
+	m.refs.Store(1)
 	m.b = m.b[:n]
 	return m
 }
 
-// Release returns the buffer to its size-class pool. The caller must not
-// touch the MsgBuf, its Bytes, or any slice borrowed from them afterwards.
-// Release on nil is a no-op so error paths can release unconditionally.
+// Retain adds a reference: one extra Release is then required before the
+// buffer recycles. The server uses it to dispatch the sub-requests of one
+// batch frame concurrently while they all borrow the same body.
+func (m *MsgBuf) Retain() {
+	m.refs.Add(1)
+}
+
+// Release drops one reference; the last one returns the buffer to its
+// size-class pool. The releasing caller must not touch the MsgBuf, its
+// Bytes, or any slice borrowed from them afterwards. Release on nil is a
+// no-op so error paths can release unconditionally.
 func (m *MsgBuf) Release() {
 	if m == nil {
+		return
+	}
+	if m.refs.Add(-1) > 0 {
 		return
 	}
 	c := cap(m.b)
@@ -100,7 +120,11 @@ func (m *MsgBuf) grow(n int) {
 	if ci := classFor(n); ci >= 0 {
 		r := msgBufPools[ci].Get().(*MsgBuf)
 		nb = r.b[:n]
-		r.b = old // hand the old array back under the recycled wrapper
+		copy(nb, old)
+		// Hand the old array back under the recycled wrapper — only after
+		// the copy above: once released, a concurrent reader may own it.
+		r.b = old
+		r.refs.Store(1)
 		r.Release()
 	} else {
 		// Beyond the top class: grow geometrically so a long fragment train
@@ -110,9 +134,10 @@ func (m *MsgBuf) grow(n int) {
 			capNeed = n
 		}
 		nb = make([]byte, n, capNeed)
+		copy(nb, old)
 		rel := &MsgBuf{b: old}
+		rel.refs.Store(1)
 		rel.Release()
 	}
-	copy(nb, old)
 	m.b = nb
 }

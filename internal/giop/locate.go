@@ -47,6 +47,15 @@ func EncodeLocateRequest(order cdr.ByteOrder, hdr LocateRequestHeader) []byte {
 	return finishMessage(e, order, MsgLocateRequest)
 }
 
+// EncodeLocateRequestPooled is EncodeLocateRequest without the final copy;
+// ownership of the returned encoder follows finishMessagePooled.
+func EncodeLocateRequestPooled(order cdr.ByteOrder, hdr LocateRequestHeader) *cdr.Encoder {
+	e := beginMessage(order)
+	e.WriteULong(hdr.RequestID)
+	e.WriteOctets(hdr.ObjectKey)
+	return finishMessagePooled(e, order, MsgLocateRequest)
+}
+
 // DecodeLocateRequest parses a LocateRequest body.
 func DecodeLocateRequest(order cdr.ByteOrder, body []byte) (LocateRequestHeader, error) {
 	d := cdr.NewDecoder(body, order)

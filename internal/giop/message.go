@@ -84,6 +84,10 @@ func (t MsgType) String() string {
 		return "CloseConnection"
 	case MsgMessageError:
 		return "MessageError"
+	case MsgFragment:
+		return "Fragment"
+	case MsgBatch:
+		return "Batch"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -205,6 +209,21 @@ func finishMessage(e *cdr.Encoder, order cdr.ByteOrder, t MsgType) []byte {
 	copy(out, buf)
 	e.Release()
 	return out
+}
+
+// finishMessagePooled patches the GIOP header over the placeholder and
+// returns the pooled encoder itself instead of copying the message out: the
+// vectored-write fast path. Ownership of the encoder transfers to the
+// caller, who hands it to a connection writer; the writer Releases it after
+// the transport write returns (docs/PROTOCOL.md §10), which is what removes
+// finishMessage's per-message copy and allocation.
+func finishMessagePooled(e *cdr.Encoder, order cdr.ByteOrder, t MsgType) *cdr.Encoder {
+	buf := e.Bytes()
+	putHeader(buf, Header{
+		Major: VersionMajor, Minor: VersionMinor,
+		Order: order, Type: t, Size: uint32(len(buf) - HeaderLen),
+	})
+	return e
 }
 
 // WriteMessage writes a complete GIOP message to w.

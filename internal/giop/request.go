@@ -141,6 +141,26 @@ func EncodeRequest(order cdr.ByteOrder, hdr RequestHeader, writeArgs func(*cdr.E
 	return finishMessage(e, order, MsgRequest)
 }
 
+// EncodeRequestPooled is EncodeRequest without the final copy: the complete
+// message stays in the pooled encoder's buffer and the encoder itself is
+// returned (its Bytes are the wire frame). The caller must hand it to a
+// writer that Releases it once the bytes are on the wire; see
+// finishMessagePooled for the ownership rule.
+func EncodeRequestPooled(order cdr.ByteOrder, hdr RequestHeader, writeArgs func(*cdr.Encoder)) *cdr.Encoder {
+	e := beginMessage(order)
+	encodeServiceContexts(e, hdr.ServiceContexts)
+	e.WriteULong(hdr.RequestID)
+	e.WriteBool(hdr.ResponseExpected)
+	e.WriteOctets(hdr.ObjectKey)
+	e.WriteString(hdr.Operation)
+	e.WriteOctets(hdr.Principal)
+	if writeArgs != nil {
+		e.Rebase() // arguments form their own alignment origin
+		writeArgs(e)
+	}
+	return finishMessagePooled(e, order, MsgRequest)
+}
+
 // DecodeRequest parses a Request body (as returned by ReadMessage or
 // ReadMessagePooled), yielding the header and a decoder positioned at the
 // operation arguments.
@@ -235,6 +255,22 @@ func EncodeReply(order cdr.ByteOrder, hdr ReplyHeader, writeBody func(*cdr.Encod
 		writeBody(e)
 	}
 	return finishMessage(e, order, MsgReply)
+}
+
+// EncodeReplyPooled is EncodeReply without the final copy, returning the
+// pooled encoder whose Bytes are the complete wire frame. Ownership follows
+// finishMessagePooled: the connection writer Releases the encoder after the
+// vectored write returns.
+func EncodeReplyPooled(order cdr.ByteOrder, hdr ReplyHeader, writeBody func(*cdr.Encoder)) *cdr.Encoder {
+	e := beginMessage(order)
+	encodeServiceContexts(e, hdr.ServiceContexts)
+	e.WriteULong(hdr.RequestID)
+	e.WriteULong(uint32(hdr.Status))
+	if writeBody != nil {
+		e.Rebase() // the status-specific body forms its own alignment origin
+		writeBody(e)
+	}
+	return finishMessagePooled(e, order, MsgReply)
 }
 
 // DecodeReply parses a Reply body, yielding the header and a decoder

@@ -76,7 +76,30 @@ func WithClientMaxBodyBytes(n int) ClientOption {
 // fabricated replies, the MEAD piggyback swap); callers wire it up only for
 // schemes without that assumption.
 func WithConnectionPool() ClientOption {
-	return clientOptionFunc(func(c *ClientORB) { c.pool = newConnPool(c) })
+	return clientOptionFunc(func(c *ClientORB) { c.poolWanted = true })
+}
+
+// WithPoolStripes widens the shared pool to n multiplexed connections per
+// IIOP host:port (implies WithConnectionPool; n < 1 means 1, the default).
+// Each stripe has its own reader goroutine and vectored-write flush chain;
+// requests are placed by power-of-two-choices on the per-stripe in-flight
+// count, so concurrent callers spread across stripes and throughput scales
+// with GOMAXPROCS instead of serializing behind one demultiplexer.
+func WithPoolStripes(n int) ClientOption {
+	return clientOptionFunc(func(c *ClientORB) {
+		c.poolWanted = true
+		c.poolStripes = n
+	})
+}
+
+// WithRequestBatching lets the pooled transport coalesce a burst of
+// concurrent requests into single giop.MsgBatch frames (one wire frame, one
+// server-side header parse for the whole burst). Batch frames are a vendor
+// extension of this implementation: enable it only against servers built
+// from this codebase — replies are never batched, so the option changes the
+// client→server direction only. See docs/PROTOCOL.md §10.
+func WithRequestBatching() ClientOption {
+	return clientOptionFunc(func(c *ClientORB) { c.batching = true })
 }
 
 // ClientORB is the client-side ORB.
@@ -87,6 +110,9 @@ type ClientORB struct {
 	dialTimeout time.Duration
 	maxForwards int
 	maxBody     int
+	poolWanted  bool
+	poolStripes int
+	batching    bool
 	pool        *connPool            // nil unless WithConnectionPool
 	tel         *telemetry.Telemetry // nil-safe; see WithTelemetry
 }
@@ -101,6 +127,11 @@ func NewClient(opts ...ClientOption) *ClientORB {
 	}
 	for _, o := range opts {
 		o.applyClient(c)
+	}
+	// The pool is built after all options applied so stripe count and
+	// batching take effect regardless of option order.
+	if c.poolWanted {
+		c.pool = newConnPool(c)
 	}
 	return c
 }

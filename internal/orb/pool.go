@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mead/internal/cdr"
@@ -20,30 +22,51 @@ var ErrClientClosed = errors.New("orb: client closed")
 // outstanding requests per connection — replies carry the request id and may
 // arrive in any order — so one TCP connection per replica suffices for an
 // arbitrary number of concurrent invocations.
+//
+// The pool is striped: each address owns a fixed slice of `stripes`
+// connection slots (default 1, see WithPoolStripes). One connection means
+// one reader goroutine and one writer flush chain; striping multiplies
+// those so throughput scales with GOMAXPROCS instead of serializing every
+// caller behind a single demultiplexer.
 type connPool struct {
-	orb *ClientORB
+	orb     *ClientORB
+	stripes int
 
 	mu     sync.Mutex
-	conns  map[string]*muxConn
+	conns  map[string][]*muxConn
+	rr     uint64 // round-robin cursor for first-touch stripe placement
 	closed bool
 }
 
 func newConnPool(orb *ClientORB) *connPool {
-	return &connPool{orb: orb, conns: make(map[string]*muxConn)}
+	n := orb.poolStripes
+	if n < 1 {
+		n = 1
+	}
+	return &connPool{orb: orb, stripes: n, conns: make(map[string][]*muxConn)}
 }
 
-// get returns the live multiplexed connection to addr, dialing one if
-// needed. Concurrent callers for the same address share a single dial.
+// get returns a live multiplexed connection to addr, dialing one if needed.
+// Concurrent callers for the same stripe share a single dial.
 func (p *connPool) get(addr string) (*muxConn, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrClientClosed
 	}
-	mc := p.conns[addr]
+	ss := p.conns[addr]
+	if ss == nil {
+		ss = make([]*muxConn, p.stripes)
+		p.conns[addr] = ss
+	}
+	idx := 0
+	if p.stripes > 1 {
+		idx = p.placeLocked(ss)
+	}
+	mc := ss[idx]
 	if mc == nil {
-		mc = &muxConn{pool: p, addr: addr, pending: make(map[uint32]chan muxReply), nextID: 1}
-		p.conns[addr] = mc
+		mc = &muxConn{pool: p, addr: addr, slot: idx, pending: make(map[uint32]chan muxReply), nextID: 1}
+		ss[idx] = mc
 	}
 	p.mu.Unlock()
 
@@ -55,11 +78,34 @@ func (p *connPool) get(addr string) (*muxConn, error) {
 	return mc, nil
 }
 
-// remove unregisters mc so the next get() for its address redials.
+// placeLocked picks a stripe for the next request. Unclaimed slots are
+// filled round-robin first, so a concurrent burst deterministically brings
+// every stripe up; once all slots are live, placement is power-of-two-
+// choices on the per-stripe in-flight count, which keeps load within a
+// constant factor of balanced without any global coordination.
+func (p *connPool) placeLocked(ss []*muxConn) int {
+	start := int(p.rr % uint64(len(ss)))
+	p.rr++
+	for k := 0; k < len(ss); k++ {
+		if j := (start + k) % len(ss); ss[j] == nil {
+			return j
+		}
+	}
+	i := rand.IntN(len(ss))
+	j := rand.IntN(len(ss))
+	if ss[j].inflight.Load() < ss[i].inflight.Load() {
+		i = j
+	}
+	return i
+}
+
+// remove unregisters mc so the next get() landing on its stripe redials.
+// Only mc's own slot is cleared: the address's other stripes keep carrying
+// traffic, so one dead connection settles only its own in-flight requests.
 func (p *connPool) remove(mc *muxConn) {
 	p.mu.Lock()
-	if p.conns[mc.addr] == mc {
-		delete(p.conns, mc.addr)
+	if ss := p.conns[mc.addr]; mc.slot < len(ss) && ss[mc.slot] == mc {
+		ss[mc.slot] = nil
 	}
 	p.mu.Unlock()
 }
@@ -73,9 +119,13 @@ func (p *connPool) close() {
 		return
 	}
 	p.closed = true
-	conns := make([]*muxConn, 0, len(p.conns))
-	for _, mc := range p.conns {
-		conns = append(conns, mc)
+	var conns []*muxConn
+	for _, ss := range p.conns {
+		for _, mc := range ss {
+			if mc != nil {
+				conns = append(conns, mc)
+			}
+		}
 	}
 	p.mu.Unlock()
 	for _, mc := range conns {
@@ -88,7 +138,15 @@ func (p *connPool) close() {
 func (p *connPool) activeConns() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.conns)
+	n := 0
+	for _, ss := range p.conns {
+		for _, mc := range ss {
+			if mc != nil {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // muxReply is one demultiplexed answer (Reply or LocateReply) delivered to
@@ -110,11 +168,16 @@ type muxReply struct {
 type muxConn struct {
 	pool *connPool
 	addr string
+	slot int // stripe index within the pool's per-address slice
 
 	dialOnce sync.Once
 	dialErr  error
 	conn     net.Conn
 	cw       *connWriter // serializes and batches frame writes
+
+	// inflight counts requests awaiting replies on this stripe; the pool's
+	// power-of-two-choices placement reads it lock-free.
+	inflight atomic.Int64
 
 	mu      sync.Mutex
 	nextID  uint32
@@ -137,15 +200,16 @@ func (m *muxConn) dial() {
 		conn = m.pool.orb.wrap(conn)
 	}
 	m.conn = conn
-	m.cw = newConnWriter(conn)
+	m.cw = newConnWriter(conn, m.pool.orb.order, m.pool.orb.batching)
 	m.pool.orb.tel.ConnOpened(m.addr)
 	go m.readLoop()
 }
 
-// roundTrip allocates a request id, renders the message via build, writes
-// it, and blocks until the demultiplexer delivers the matching reply or the
-// connection dies. Any number of callers may be in roundTrip concurrently.
-func (m *muxConn) roundTrip(build func(reqID uint32) []byte) (giop.Header, *giop.MsgBuf, error) {
+// roundTrip allocates a request id, renders the message into a pooled
+// encoder via build, hands it to the vectored writer, and blocks until the
+// demultiplexer delivers the matching reply or the connection dies. Any
+// number of callers may be in roundTrip concurrently.
+func (m *muxConn) roundTrip(build func(reqID uint32) *cdr.Encoder) (giop.Header, *giop.MsgBuf, error) {
 	m.mu.Lock()
 	if m.closed {
 		err := m.err
@@ -158,19 +222,20 @@ func (m *muxConn) roundTrip(build func(reqID uint32) []byte) (giop.Header, *giop
 	m.pending[id] = ch
 	m.mu.Unlock()
 
-	msg := build(id)
-	if err := m.write(msg); err != nil {
+	m.inflight.Add(1)
+	if err := m.cw.writeEncoder(build(id), m.pool.orb.maxBody); err != nil {
 		// fail() settles every pending request, including ours.
 		m.fail(giop.CommFailure(10, giop.CompletedMaybe))
 	}
 	r := <-ch
+	m.inflight.Add(-1)
 	return r.hdr, r.mb, r.err
 }
 
 // send writes a request that expects no reply (oneway). The id is still
 // allocated from the shared counter so it cannot collide with two-way
 // requests in flight.
-func (m *muxConn) send(build func(reqID uint32) []byte) error {
+func (m *muxConn) send(build func(reqID uint32) *cdr.Encoder) error {
 	m.mu.Lock()
 	if m.closed {
 		err := m.err
@@ -181,16 +246,11 @@ func (m *muxConn) send(build func(reqID uint32) []byte) error {
 	m.nextID++
 	m.mu.Unlock()
 
-	msg := build(id)
-	if err := m.write(msg); err != nil {
+	if err := m.cw.writeEncoder(build(id), m.pool.orb.maxBody); err != nil {
 		m.fail(giop.CommFailure(14, giop.CompletedMaybe))
 		return giop.CommFailure(14, giop.CompletedMaybe)
 	}
 	return nil
-}
-
-func (m *muxConn) write(msg []byte) error {
-	return m.cw.writeMessage(msg, m.pool.orb.maxBody)
 }
 
 // readLoop is the per-connection demultiplexer: it reads logical GIOP
@@ -282,8 +342,8 @@ func (o *ObjectRef) invokePooled(op string, writeArgs func(*cdr.Encoder), readRe
 		}
 		sentAt := time.Now()
 		o.orb.tel.RequestSent(addr)
-		hdr, mb, err := mc.roundTrip(func(reqID uint32) []byte {
-			return giop.EncodeRequest(o.orb.order, giop.RequestHeader{
+		hdr, mb, err := mc.roundTrip(func(reqID uint32) *cdr.Encoder {
+			return giop.EncodeRequestPooled(o.orb.order, giop.RequestHeader{
 				RequestID:        reqID,
 				ResponseExpected: true,
 				ObjectKey:        prof.ObjectKey,
@@ -387,8 +447,8 @@ func (o *ObjectRef) oneWayPooled(op string, writeArgs func(*cdr.Encoder)) error 
 	if err != nil {
 		return err
 	}
-	return mc.send(func(reqID uint32) []byte {
-		return giop.EncodeRequest(o.orb.order, giop.RequestHeader{
+	return mc.send(func(reqID uint32) *cdr.Encoder {
+		return giop.EncodeRequestPooled(o.orb.order, giop.RequestHeader{
 			RequestID:        reqID,
 			ResponseExpected: false,
 			ObjectKey:        prof.ObjectKey,
@@ -416,8 +476,8 @@ func (o *ObjectRef) locatePooled() (giop.LocateStatus, error) {
 	if err != nil {
 		return 0, err
 	}
-	hdr, mb, err := mc.roundTrip(func(reqID uint32) []byte {
-		return giop.EncodeLocateRequest(o.orb.order, giop.LocateRequestHeader{
+	hdr, mb, err := mc.roundTrip(func(reqID uint32) *cdr.Encoder {
+		return giop.EncodeLocateRequestPooled(o.orb.order, giop.LocateRequestHeader{
 			RequestID: reqID,
 			ObjectKey: prof.ObjectKey,
 		})

@@ -107,6 +107,15 @@ func WithServerTelemetry(t *telemetry.Telemetry) ServerOption {
 	return serverOptionFunc(func(s *ServerORB) { s.tel = t })
 }
 
+// WithServerAcceptLoops runs n concurrent accept goroutines on the
+// listener (n < 1 means 1, the default). A single accept loop serializes
+// connection admission; under striped client pools a reconnection storm
+// (every client redialing N stripes after a recovery event) makes that
+// serialization visible, so the replica plumbing shards accepts per core.
+func WithServerAcceptLoops(n int) ServerOption {
+	return serverOptionFunc(func(s *ServerORB) { s.acceptLoops = n })
+}
+
 // WithConnClosedHook registers a callback invoked (with the remaining
 // active-connection count) whenever a client connection closes. The
 // proactive fault-tolerance manager uses it to detect quiescence before
@@ -122,6 +131,7 @@ type ServerORB struct {
 	wireWrap     ConnWrapper
 	onConnClosed func(active int)
 	maxBody      int
+	acceptLoops  int
 	served       atomic.Uint64
 	tel          *telemetry.Telemetry // nil-safe; see WithServerTelemetry
 
@@ -188,11 +198,17 @@ func (s *ServerORB) Start() error {
 	if s.ln == nil {
 		return errors.New("orb: Start before Listen")
 	}
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		s.acceptLoop()
-	}()
+	n := s.acceptLoops
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.acceptLoop()
+		}()
+	}
 	return nil
 }
 
@@ -296,7 +312,7 @@ func (s *ServerORB) serveConn(conn net.Conn) {
 	// goroutine owns each request's buffer (the decoded header and argument
 	// stream borrow it) and releases it after the reply is written.
 	rd := bufio.NewReaderSize(conn, connReadBufSize)
-	cw := newConnWriter(conn)
+	cw := newConnWriter(conn, s.order, false)
 	for {
 		h, mb, err := giop.ReadMessagePooled(rd)
 		if err != nil {
@@ -317,6 +333,38 @@ func (s *ServerORB) serveConn(conn net.Conn) {
 				defer s.wg.Done()
 				s.dispatchRequest(conn, cw, hdr, args, mb)
 			}()
+		case giop.MsgBatch:
+			// A client-side burst coalesced into one frame: decode each
+			// sub-request and dispatch it exactly as if it had arrived
+			// alone. Every dispatch retains mb (all sub-bodies alias it);
+			// the reader's own reference drops after the walk.
+			err := giop.ForEachInBatch(mb.Bytes(), func(sh giop.Header, sbody []byte) error {
+				switch sh.Type {
+				case giop.MsgRequest:
+					hdr, args, err := giop.DecodeRequest(sh.Order, sbody)
+					if err != nil {
+						return err
+					}
+					mb.Retain()
+					s.wg.Add(1)
+					go func() {
+						defer s.wg.Done()
+						s.dispatchRequest(conn, cw, hdr, args, mb)
+					}()
+					return nil
+				case giop.MsgLocateRequest:
+					return s.handleLocate(cw, sh, sbody)
+				case giop.MsgCancelRequest:
+					return nil
+				default:
+					return fmt.Errorf("orb: %v message inside batch frame", sh.Type)
+				}
+			})
+			mb.Release()
+			if err != nil {
+				_ = cw.writeMessage(giop.EncodeMessage(s.order, giop.MsgMessageError, nil), 0)
+				return
+			}
 		case giop.MsgCloseConnection:
 			mb.Release()
 			return
@@ -407,7 +455,10 @@ func (s *ServerORB) dispatchRequest(conn net.Conn, cw *connWriter, hdr giop.Requ
 		return
 	}
 
-	reply := giop.EncodeReply(s.order, giop.ReplyHeader{RequestID: hdr.RequestID, Status: status},
+	// The reply stays in its pooled encoder: cw owns it from here and
+	// releases it after the vectored write, skipping the exact-size copy
+	// EncodeReply would make.
+	reply := giop.EncodeReplyPooled(s.order, giop.ReplyHeader{RequestID: hdr.RequestID, Status: status},
 		func(e *cdr.Encoder) {
 			switch status {
 			case giop.ReplyNoException:
@@ -418,7 +469,7 @@ func (s *ServerORB) dispatchRequest(conn net.Conn, cw *connWriter, hdr giop.Requ
 				e.WriteString(userEx.RepoID)
 			}
 		})
-	if err := cw.writeMessage(reply, s.maxBody); err != nil {
+	if err := cw.writeEncoder(reply, s.maxBody); err != nil {
 		_ = conn.Close()
 	}
 }

@@ -102,6 +102,11 @@ type ServiceConfig struct {
 	// for each object instantiated"; the object-table scaling bench
 	// measures that claim.
 	Objects int
+	// AcceptLoops shards the server ORB's accept loop across this many
+	// goroutines (0 or 1 means one). Striped client pools redial several
+	// connections per client after a recovery event; sharding keeps
+	// connection admission off the critical path of that storm.
+	AcceptLoops int
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...interface{})
 	// Telemetry, when set, is threaded into the server ORB (dispatch
@@ -262,6 +267,7 @@ func (r *Replica) Start() error {
 	r.srv = orb.NewServer(
 		orb.WithServerConnWrapper(r.mgr.WrapServerConn),
 		orb.WithServerTelemetry(r.cfg.Telemetry),
+		orb.WithServerAcceptLoops(r.cfg.AcceptLoops),
 		orb.WithConnClosedHook(func(active int) {
 			if active == 0 {
 				go r.maybeRejuvenate()

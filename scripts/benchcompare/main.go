@@ -1,0 +1,131 @@
+// Command benchcompare gates performance regressions: it compares a fresh
+// benchjson snapshot against the committed baseline and exits non-zero if
+// any benchmark regressed. Pure Go, no dependencies — usable both from
+// `make bench-compare` and the CI bench job.
+//
+//	benchcompare BASELINE.json FRESH.json
+//
+// Rules, per (name, cpu) pair present in the baseline:
+//   - missing from the fresh run: fail (a silently dropped bench is a
+//     coverage regression, not a pass);
+//   - ns/op more than 15% above baseline: fail (an absolute 25ns floor
+//     keeps sub-noise micro-benches from flapping);
+//   - allocs/op: strict for near-zero baselines (≤2 allocs — the wire-path
+//     guards — any increase fails); above that, the same 15% rule.
+//
+// Benchmarks only present in the fresh run are reported but never fail:
+// adding coverage is not a regression.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	CPU         int     `json:"cpu"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type snapshot struct {
+	Schema     string  `json:"schema"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+const (
+	nsSlackFraction = 0.15 // >15% ns/op over baseline fails
+	nsSlackFloorNs  = 25.0 // ignore sub-25ns swings outright
+	strictAllocsMax = 2    // baselines at or under this gate allocs exactly
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: benchcompare BASELINE.json FRESH.json")
+	}
+	base, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	fresh, err := load(args[1])
+	if err != nil {
+		return err
+	}
+
+	key := func(e entry) string { return fmt.Sprintf("%s\x00%d", e.Name, e.CPU) }
+	freshBy := map[string]entry{}
+	for _, e := range fresh.Benchmarks {
+		freshBy[key(e)] = e
+	}
+
+	failures := 0
+	for _, old := range base.Benchmarks {
+		now, ok := freshBy[key(old)]
+		delete(freshBy, key(old))
+		if !ok {
+			failures++
+			fmt.Printf("FAIL %s (cpu=%d): missing from fresh run\n", old.Name, old.CPU)
+			continue
+		}
+		status := "ok  "
+		var notes []string
+		if over := now.NsPerOp - old.NsPerOp; over > nsSlackFloorNs && now.NsPerOp > old.NsPerOp*(1+nsSlackFraction) {
+			status = "FAIL"
+			notes = append(notes, fmt.Sprintf("ns/op +%.1f%% over the 15%% gate", 100*(now.NsPerOp/old.NsPerOp-1)))
+		}
+		switch {
+		case old.AllocsPerOp <= strictAllocsMax && now.AllocsPerOp > old.AllocsPerOp:
+			status = "FAIL"
+			notes = append(notes, fmt.Sprintf("allocs/op %d -> %d on a zero-alloc-guarded path", old.AllocsPerOp, now.AllocsPerOp))
+		case float64(now.AllocsPerOp) > float64(old.AllocsPerOp)*(1+nsSlackFraction):
+			status = "FAIL"
+			notes = append(notes, fmt.Sprintf("allocs/op %d -> %d over the 15%% gate", old.AllocsPerOp, now.AllocsPerOp))
+		}
+		if status == "FAIL" {
+			failures++
+		}
+		fmt.Printf("%s %s (cpu=%d): %.1f -> %.1f ns/op, %d -> %d allocs/op",
+			status, old.Name, old.CPU, old.NsPerOp, now.NsPerOp, old.AllocsPerOp, now.AllocsPerOp)
+		for _, n := range notes {
+			fmt.Printf(" [%s]", n)
+		}
+		fmt.Println()
+	}
+	for _, e := range fresh.Benchmarks {
+		if _, stillNew := freshBy[key(e)]; stillNew {
+			fmt.Printf("new  %s (cpu=%d): %.1f ns/op, %d allocs/op (no baseline)\n",
+				e.Name, e.CPU, e.NsPerOp, e.AllocsPerOp)
+		}
+	}
+
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed against %s", failures, args[0])
+	}
+	fmt.Printf("all %d baseline benchmark(s) within bounds\n", len(base.Benchmarks))
+	return nil
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != "mead-bench/1" {
+		return s, fmt.Errorf("%s: unknown schema %q", path, s.Schema)
+	}
+	return s, nil
+}

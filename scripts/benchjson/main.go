@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` text output (stdin) into the
+// machine-readable benchmark snapshot committed as BENCH_<n>.json and
+// consumed by benchcompare. It needs nothing beyond the Go toolchain.
+//
+// Each result line like
+//
+//	BenchmarkInvokePipelined-4   500   4493 ns/op   775 B/op   12 allocs/op
+//
+// becomes one entry keyed by (name, cpu), where cpu is the trailing
+// `-N` GOMAXPROCS suffix (absent means 1). Across repeated runs
+// (-count=3) the minimum ns/op is kept — the least-noise estimate — while
+// bytes/op and allocs/op keep their maxima, so the committed snapshot is
+// conservative for the allocation gate. Output is sorted and contains no
+// timestamps, keeping the committed file diff-stable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	CPU         int     `json:"cpu"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the committed file layout.
+type Snapshot struct {
+	Schema     string  `json:"schema"`
+	Go         string  `json:"go,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	best := map[string]Entry{}
+	var goline string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if v, ok := strings.CutPrefix(line, "go version "); ok {
+			goline = v
+			continue
+		}
+		e, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		k := fmt.Sprintf("%s\x00%d", e.Name, e.CPU)
+		prev, seen := best[k]
+		if !seen {
+			best[k] = e
+			continue
+		}
+		if e.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = e.NsPerOp
+			prev.Iters = e.Iters
+		}
+		if e.BytesPerOp > prev.BytesPerOp {
+			prev.BytesPerOp = e.BytesPerOp
+		}
+		if e.AllocsPerOp > prev.AllocsPerOp {
+			prev.AllocsPerOp = e.AllocsPerOp
+		}
+		best[k] = prev
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(best) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+
+	snap := Snapshot{Schema: "mead-bench/1", Go: goline}
+	for _, e := range best {
+		snap.Benchmarks = append(snap.Benchmarks, e)
+	}
+	sort.Slice(snap.Benchmarks, func(i, j int) bool {
+		a, b := snap.Benchmarks[i], snap.Benchmarks[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.CPU < b.CPU
+	})
+
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	return out.Encode(snap)
+}
+
+// parseLine parses one `Benchmark... <iters> <val> ns/op [...]` line.
+func parseLine(line string) (Entry, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Entry{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0], CPU: 1}
+	// The trailing -N is the GOMAXPROCS suffix; sub-benchmark slashes may
+	// also contain dashes, so only split on the final one when numeric.
+	if i := strings.LastIndexByte(e.Name, '-'); i > 0 {
+		if n, err := strconv.Atoi(e.Name[i+1:]); err == nil {
+			e.Name, e.CPU = e.Name[:i], n
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e.Iters = iters
+	got := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			e.NsPerOp, got = v, true
+		case "B/op":
+			e.BytesPerOp = int64(v)
+		case "allocs/op":
+			e.AllocsPerOp = int64(v)
+		}
+	}
+	return e, got
+}
