@@ -435,12 +435,20 @@ func BenchmarkAblation_ObjectTable_512(b *testing.B) { runObjectScalingBench(b, 
 // requests demultiplexed by request id.
 func runInvocationBench(b *testing.B, callers int, pooled bool, copts ...orb.ClientOption) {
 	b.Helper()
-	key := giop.MakeObjectKey("bench", "clock")
-	s := orb.NewServer()
-	s.Register(key, orb.ServantFunc(func(op string, args *cdr.Decoder, result *cdr.Encoder) error {
+	runInvocationBenchServant(b, callers, pooled, orb.ServantFunc(func(op string, args *cdr.Decoder, result *cdr.Encoder) error {
 		result.WriteLongLong(time.Now().UnixNano())
 		return nil
-	}))
+	}), copts...)
+}
+
+// runInvocationBenchServant is runInvocationBench with a caller-supplied
+// servant, so benches can put extra server-side work (durable logging) on
+// the dispatch path.
+func runInvocationBenchServant(b *testing.B, callers int, pooled bool, servant orb.Servant, copts ...orb.ClientOption) {
+	b.Helper()
+	key := giop.MakeObjectKey("bench", "clock")
+	s := orb.NewServer()
+	s.Register(key, servant)
 	if err := s.Listen("127.0.0.1:0"); err != nil {
 		b.Fatal(err)
 	}

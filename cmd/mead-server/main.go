@@ -46,6 +46,7 @@ func run(args []string) error {
 		chunkUnit = fs.Int64("fault-chunk", 32, "bytes per Weibull unit")
 		seed      = fs.Int64("seed", time.Now().UnixNano(), "fault seed")
 		metrics   = fs.String("metrics", "", "serve metrics (/metrics) and the recovery trace (/trace) on this address, e.g. 127.0.0.1:9090")
+		stateDir  = fs.String("statedir", "", "durable-state directory: persist an op log and incremental checkpoints under <statedir>/<name>, and cold-restart from them (plus the recovery handshake) after a crash")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +74,7 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},
 		Telemetry: tel,
+		StateDir:  *stateDir,
 	}
 	r, err := mead.NewReplica(*name, cfg)
 	if err != nil {

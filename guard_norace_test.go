@@ -1,0 +1,7 @@
+//go:build !race
+
+package mead
+
+// raceEnabled mirrors the race-detector build tag for the alloc guards;
+// see guard_race_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package mead
+
+// raceEnabled mirrors the race-detector build tag for the alloc guards:
+// under -race, sync.Pool deliberately drops a quarter of Puts to expose
+// reuse races, so pooled paths show fractional per-op allocations that do
+// not exist in a normal build.
+const raceEnabled = true

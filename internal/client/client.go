@@ -10,7 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"mead/internal/cdr"
@@ -102,6 +104,16 @@ type Config struct {
 	// the replica the client was bound to) and steady/fail-over round-trip
 	// histograms.
 	Telemetry *telemetry.Telemetry
+	// ClientID is the at-most-once identity sent with every invocation:
+	// retries of one logical invocation reuse its sequence number, so a
+	// replica that already executed the request (including a replica that
+	// restarted and replayed its durable dedup table) answers from cache
+	// instead of re-executing. Empty derives a process-unique id; set it
+	// explicitly only to correlate retransmissions across client restarts
+	// (tests). Never reuse an id with a fresh sequence space against
+	// durable replicas — the persisted table would suppress the new
+	// client's early requests.
+	ClientID string
 }
 
 func (c Config) group() string { return "mead." + c.Service }
@@ -116,6 +128,12 @@ func New(cfg Config) (Strategy, error) {
 	}
 	if cfg.MaxAttempts == 0 {
 		cfg.MaxAttempts = 8
+	}
+	if cfg.ClientID == "" {
+		// Process-unique by construction: a restarted experiment (or a
+		// fresh strategy over a reused state directory) must not collide
+		// with a persisted dedup row for an earlier client.
+		cfg.ClientID = fmt.Sprintf("c%d-%d", os.Getpid(), clientIDs.Add(1))
 	}
 	base := &base{
 		cfg:   cfg,
@@ -204,6 +222,9 @@ func New(cfg Config) (Strategy, error) {
 	}
 }
 
+// clientIDs disambiguates derived ClientIDs within one process.
+var clientIDs atomic.Uint64
+
 // base holds the machinery shared by all strategies.
 type base struct {
 	cfg   Config
@@ -216,7 +237,12 @@ type base struct {
 	curReplica string // replica name of the current binding (telemetry label)
 	curAddr    string // replica address of the current binding
 	done       int    // completed logical invocations (for the warm-up skip)
+	seq        uint64 // at-most-once sequence of the current logical invocation
 }
+
+// nextSeq advances the at-most-once sequence for a new logical invocation;
+// every retry attempt within it reuses the same number.
+func (b *base) nextSeq() { b.seq++ }
 
 // bindTo records which replica the strategy is now bound to, for labelling
 // exception events.
@@ -288,9 +314,13 @@ func (b *base) resolveAt(idx int) error {
 	return nil
 }
 
-// call performs the actual time_of_day invocation on the current reference.
+// call performs the actual time_of_day invocation on the current reference,
+// carrying the client's at-most-once identity as operation arguments.
 func (b *base) call(out *Outcome) error {
-	return b.ref.Invoke("time_of_day", nil, func(d *cdr.Decoder) error {
+	return b.ref.Invoke("time_of_day", func(e *cdr.Encoder) {
+		e.WriteString(b.cfg.ClientID)
+		e.WriteULongLong(b.seq)
+	}, func(d *cdr.Decoder) error {
 		ts, err := d.ReadLongLong()
 		if err != nil {
 			return err

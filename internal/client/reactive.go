@@ -37,6 +37,7 @@ func (r *reactive) Scheme() ftmgr.Scheme {
 
 func (r *reactive) Invoke() (out Outcome) {
 	start := time.Now()
+	r.nextSeq() // retries below reuse this sequence number
 	defer func() {
 		out.RTT = time.Since(start)
 		r.record(&out)
@@ -157,6 +158,7 @@ func (p *proactive) Close() error {
 
 func (p *proactive) Invoke() (out Outcome) {
 	start := time.Now()
+	p.nextSeq() // retries below reuse this sequence number
 	defer func() {
 		out.RTT = time.Since(start)
 		p.record(&out)

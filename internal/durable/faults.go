@@ -1,0 +1,259 @@
+package durable
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// FaultKind identifies one injectable durable-I/O condition. The injector
+// mirrors internal/netfault's plan style — named events keyed on a
+// deterministic ordinal — so log-truncation tests never depend on timing:
+// the same seed and plan damage the same byte of the same record on every
+// run.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// TornWrite writes only the first TornBytes of the triggering record
+	// (default: half), then wedges the store: every later append and sync
+	// is silently dropped, as if the process had crashed mid-write. The
+	// on-disk log ends in an incomplete frame that recovery must detect
+	// (ErrTornRecord) and truncate past.
+	TornWrite FaultKind = iota + 1
+	// ShortWrite splits each affected record append into SegmentBytes-sized
+	// write calls (a page-cache-boundary simulation). Windowed; must be
+	// invisible to recovery — the bytes still land in order.
+	ShortWrite
+	// CorruptWrite flips one seeded-random payload byte of the triggering
+	// record as it is written. The frame length stays intact, so recovery
+	// sees a structurally complete record whose CRC fails
+	// (ErrCorruptRecord) and truncates there.
+	CorruptWrite
+	// SyncError makes the store's next fsync report failure (counted; the
+	// store keeps running with weakened durability, which recovery covers).
+	SyncError
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case TornWrite:
+		return "torn-write"
+	case ShortWrite:
+		return "short-write"
+	case CorruptWrite:
+		return "corrupt-write"
+	case SyncError:
+		return "sync-error"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// windowed reports whether the kind stays active over a span of appends.
+func (k FaultKind) windowed() bool { return k == ShortWrite }
+
+// FaultEvent schedules one durable-I/O fault. Append-keyed kinds trigger on
+// the store's 0-based append ordinal (counted per replica store, so one
+// shared injector can target replicas independently); SyncError triggers on
+// the store's 0-based sync ordinal instead.
+type FaultEvent struct {
+	// Name labels the event in Fired accounting (defaults to Kind.String).
+	Name string
+	// Kind selects the fault.
+	Kind FaultKind
+	// At is the 0-based ordinal (append count for write kinds, sync count
+	// for SyncError) that triggers the event.
+	At int
+	// For widens windowed kinds (ShortWrite) to the ordinals [At, At+For);
+	// 0 means width 1, negative means active forever.
+	For int
+	// Replica restricts the event to the named replica's store; empty
+	// matches any store.
+	Replica string
+	// TornBytes is how many bytes of the triggering record a TornWrite
+	// leaves on disk (default: half the framed record).
+	TornBytes int
+	// SegmentBytes is the ShortWrite segment size.
+	SegmentBytes int
+}
+
+func (e FaultEvent) name() string {
+	if e.Name != "" {
+		return e.Name
+	}
+	return e.Kind.String()
+}
+
+func (e FaultEvent) matches(ordinal int, replica string) bool {
+	if e.Replica != "" && e.Replica != replica {
+		return false
+	}
+	if e.Kind.windowed() {
+		if e.For < 0 {
+			return ordinal >= e.At
+		}
+		width := e.For
+		if width == 0 {
+			width = 1
+		}
+		return ordinal >= e.At && ordinal < e.At+width
+	}
+	return ordinal == e.At
+}
+
+// FaultPlan is a schedule of durable-I/O faults. The zero value injects
+// nothing.
+type FaultPlan []FaultEvent
+
+// Validate rejects malformed plans before a run starts.
+func (p FaultPlan) Validate() error {
+	for i, e := range p {
+		if e.Kind < TornWrite || e.Kind > SyncError {
+			return fmt.Errorf("durable: event %d (%s): unknown kind %d", i, e.name(), int(e.Kind))
+		}
+		if e.At < 0 {
+			return fmt.Errorf("durable: event %d (%s): negative At", i, e.name())
+		}
+		if e.Kind == ShortWrite && e.SegmentBytes <= 0 {
+			return fmt.Errorf("durable: event %d (%s): ShortWrite needs SegmentBytes", i, e.name())
+		}
+	}
+	return nil
+}
+
+// FaultInjector executes a FaultPlan over the stores that reference it. All
+// randomness (the corrupted byte's position and XOR mask) comes from one
+// seeded PRNG and all triggers are keyed on per-replica append/sync
+// ordinals, so two runs with the same seed and plan damage the identical
+// bytes.
+type FaultInjector struct {
+	mu      sync.Mutex
+	plan    FaultPlan
+	rng     *rand.Rand
+	appends map[string]int // replica -> append ordinal
+	syncs   map[string]int // replica -> sync ordinal
+	fired   map[string]int
+	oneShot map[int]bool // plan index -> already fired
+}
+
+// NewFaultInjector builds an injector for the plan, seeded for reproducible
+// corruption. The plan must Validate.
+func NewFaultInjector(seed int64, plan FaultPlan) (*FaultInjector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &FaultInjector{
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(seed)),
+		appends: make(map[string]int),
+		syncs:   make(map[string]int),
+		fired:   make(map[string]int),
+		oneShot: make(map[int]bool),
+	}, nil
+}
+
+// Fired returns how many times the named event applied.
+func (f *FaultInjector) Fired(name string) int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired[name]
+}
+
+// FiredAll snapshots the per-event application counts.
+func (f *FaultInjector) FiredAll() map[string]int {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.fired))
+	for k, v := range f.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// ioAction is the fault set resolved for one record append.
+type ioAction struct {
+	torn       bool
+	tornBytes  int
+	corruptAt  int
+	corruptXor byte
+	corrupt    bool
+	segment    int
+}
+
+// takeAppend consumes one tick of replica's append ordinal and resolves the
+// actions to apply to a framed record of recLen bytes. A nil injector is a
+// no-op.
+func (f *FaultInjector) takeAppend(replica string, recLen int) ioAction {
+	if f == nil {
+		return ioAction{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ord := f.appends[replica]
+	f.appends[replica] = ord + 1
+	var a ioAction
+	for idx, e := range f.plan {
+		if e.Kind == SyncError || !e.matches(ord, replica) {
+			continue
+		}
+		if !e.Kind.windowed() {
+			if f.oneShot[idx] {
+				continue
+			}
+			f.oneShot[idx] = true
+		}
+		f.fired[e.name()]++
+		switch e.Kind {
+		case TornWrite:
+			a.torn = true
+			a.tornBytes = e.TornBytes
+			if a.tornBytes <= 0 || a.tornBytes >= recLen {
+				a.tornBytes = recLen / 2
+			}
+		case CorruptWrite:
+			a.corrupt = true
+			// Damage a payload byte (offset >= frameOverhead) so the frame
+			// length survives and the CRC is what catches it; the XOR mask
+			// is drawn from [1, 255] so the byte always changes.
+			if recLen > frameOverhead {
+				a.corruptAt = frameOverhead + f.rng.Intn(recLen-frameOverhead)
+			}
+			a.corruptXor = byte(1 + f.rng.Intn(255))
+		case ShortWrite:
+			a.segment = e.SegmentBytes
+		}
+	}
+	return a
+}
+
+// takeSync consumes one tick of replica's sync ordinal and reports whether
+// this fsync should fail.
+func (f *FaultInjector) takeSync(replica string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ord := f.syncs[replica]
+	f.syncs[replica] = ord + 1
+	fail := false
+	for idx, e := range f.plan {
+		if e.Kind != SyncError || !e.matches(ord, replica) {
+			continue
+		}
+		if f.oneShot[idx] {
+			continue
+		}
+		f.oneShot[idx] = true
+		f.fired[e.name()]++
+		fail = true
+	}
+	return fail
+}

@@ -538,26 +538,37 @@ func TestNeedsAddressingPartialFailuresUnderLANEmulation(t *testing.T) {
 	// beat the 10 ms query window and stay masked, others do not — the
 	// paper's 25% regime (we measure ~40% at these constants; the exact
 	// rate depends on network constants, the mechanism is the point).
+	//
+	// Whether one recovery beats the window is a wall-clock race, so a
+	// loaded machine (the parallel suite runs in-process benchmarks in
+	// sibling packages) can push every recovery past 10 ms in a single
+	// run. Like the fail-over comparisons above, re-measure with fresh
+	// seeds before declaring the window degenerate.
 	if testing.Short() {
 		t.Skip("longer stochastic run")
 	}
-	sc := compressed(ftmgr.NeedsAddressing)
-	sc.Invocations = 3000
-	sc.Period = 300 * time.Microsecond
-	sc.Fault.Tick = 4 * time.Millisecond
-	sc.GCSDelay = 1500 * time.Microsecond
-	sc.GCSJitter = 4 * time.Millisecond
-	sc.QueryTimeout = 10 * time.Millisecond // the paper's window
-	sc.Seed = 2004
-	res := run(t, sc)
-	if res.ServerFailures < 3 {
-		t.Fatalf("too few failures to judge: %d", res.ServerFailures)
+	var pct float64
+	for attempt, seed := range []int64{2004, 2005, 2006} {
+		sc := compressed(ftmgr.NeedsAddressing)
+		sc.Invocations = 3000
+		sc.Period = 300 * time.Microsecond
+		sc.Fault.Tick = 4 * time.Millisecond
+		sc.GCSDelay = 1500 * time.Microsecond
+		sc.GCSJitter = 4 * time.Millisecond
+		sc.QueryTimeout = 10 * time.Millisecond // the paper's window
+		sc.Seed = seed
+		res := run(t, sc)
+		if res.ServerFailures < 3 {
+			t.Fatalf("too few failures to judge: %d", res.ServerFailures)
+		}
+		pct = res.ClientFailurePct()
+		if pct > 0 && pct < 100 {
+			return
+		}
+		t.Logf("attempt %d (seed %d): failure pct %.0f%%, re-measuring", attempt+1, seed, pct)
 	}
-	pct := res.ClientFailurePct()
 	if pct <= 0 {
 		t.Fatal("failure window never opened under LAN emulation")
 	}
-	if pct >= 100 {
-		t.Fatalf("every recovery failed (%.0f%%); window should be partial", pct)
-	}
+	t.Fatalf("every recovery failed (%.0f%%); window should be partial", pct)
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mead/internal/client"
+	"mead/internal/durable"
 	"mead/internal/faultinject"
 	"mead/internal/ftmgr"
 	"mead/internal/gcs"
@@ -91,6 +92,20 @@ type Scenario struct {
 	// means a clean wire. The injector is seeded from Seed, so one seed
 	// reproduces the whole run: leak faults, GCS jitter and wire chaos.
 	Chaos netfault.Plan
+	// StateDir, when non-empty, turns on the durable-state subsystem:
+	// every replica keeps an op log and incremental checkpoints under
+	// StateDir/<name>, and recovers from them (plus the recovery
+	// handshake) on relaunch. Booting a second deployment over the same
+	// StateDir is a cold restart from disk.
+	StateDir string
+	// DurableCheckpointBytes overrides the durable checkpoint threshold
+	// (replica.DefaultDurableCheckpointBytes when zero).
+	DurableCheckpointBytes int64
+	// DurableChaos schedules deterministic durable-I/O faults (torn
+	// writes, corrupted records, fsync failures) keyed per replica on its
+	// append/sync ordinals. The injector is seeded from Seed^0x6472 so one
+	// scenario seed reproduces disk damage alongside wire chaos.
+	DurableChaos durable.FaultPlan
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -219,7 +234,8 @@ type Deployment struct {
 	rm    *recovery.Manager
 
 	svcCfg replica.ServiceConfig
-	chaos  *netfault.Injector // nil on a clean wire
+	chaos  *netfault.Injector     // nil on a clean wire
+	disk   *durable.FaultInjector // nil on clean disks
 	tel    *telemetry.Telemetry
 
 	mu       sync.Mutex
@@ -243,6 +259,15 @@ func NewDeployment(sc Scenario) (*Deployment, error) {
 		}
 		d.chaos = inj
 	}
+	if len(sc.DurableChaos) > 0 {
+		// A third xor constant decorrelates disk damage from the wire and
+		// leak streams while keeping one scenario seed.
+		inj, err := durable.NewFaultInjector(sc.Seed^0x6472, sc.DurableChaos)
+		if err != nil {
+			return nil, err
+		}
+		d.disk = inj
+	}
 	hubOpts := []gcs.HubOption{gcs.WithHubTelemetry(d.tel)}
 	if sc.GCSDelay > 0 {
 		hubOpts = append(hubOpts, gcs.WithDeliveryDelay(sc.GCSDelay))
@@ -262,20 +287,23 @@ func NewDeployment(sc Scenario) (*Deployment, error) {
 	}
 
 	d.svcCfg = replica.ServiceConfig{
-		Service:          "timeofday",
-		HubAddr:          d.hub.Addr(),
-		NamesAddr:        d.names.Addr(),
-		Scheme:           sc.Scheme,
-		LaunchThreshold:  sc.LaunchThreshold,
-		MigrateThreshold: sc.Threshold,
-		Fault:            sc.Fault,
-		InjectFault:      sc.InjectFault,
-		CheckpointEvery:  sc.CheckpointEvery,
-		AdaptiveLeadTime: sc.AdaptiveLeadTime,
-		MonitorInterval:  sc.MonitorInterval,
-		Objects:          sc.Objects,
-		Logf:             sc.Logf,
-		Telemetry:        d.tel,
+		Service:                "timeofday",
+		HubAddr:                d.hub.Addr(),
+		NamesAddr:              d.names.Addr(),
+		Scheme:                 sc.Scheme,
+		LaunchThreshold:        sc.LaunchThreshold,
+		MigrateThreshold:       sc.Threshold,
+		Fault:                  sc.Fault,
+		InjectFault:            sc.InjectFault,
+		CheckpointEvery:        sc.CheckpointEvery,
+		AdaptiveLeadTime:       sc.AdaptiveLeadTime,
+		MonitorInterval:        sc.MonitorInterval,
+		Objects:                sc.Objects,
+		Logf:                   sc.Logf,
+		Telemetry:              d.tel,
+		StateDir:               sc.StateDir,
+		DurableCheckpointBytes: sc.DurableCheckpointBytes,
+		DurableFaults:          d.disk,
 	}
 
 	names := make([]string, 0, sc.Replicas)
@@ -457,6 +485,10 @@ func (d *Deployment) clientDial() orb.DialFunc {
 // Chaos exposes the wire-fault injector (nil when the scenario has no
 // chaos plan); tests read its fired-event accounting.
 func (d *Deployment) Chaos() *netfault.Injector { return d.chaos }
+
+// DurableChaos exposes the durable-I/O fault injector (nil when the
+// scenario has no durable fault plan).
+func (d *Deployment) DurableChaos() *durable.FaultInjector { return d.disk }
 
 // Telemetry exposes the deployment-wide telemetry instance shared by the
 // hub, naming service, replicas, recovery manager and every client built

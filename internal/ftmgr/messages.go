@@ -12,12 +12,14 @@ import (
 // fault-tolerance managers, the Recovery Manager, and (for the
 // NEEDS_ADDRESSING scheme) querying clients.
 const (
-	kindAnnounce     byte = 1
-	kindSync         byte = 2
-	kindNotice       byte = 3
-	kindQueryPrimary byte = 4
-	kindPrimaryIs    byte = 5
-	kindCheckpoint   byte = 6
+	kindAnnounce      byte = 1
+	kindSync          byte = 2
+	kindNotice        byte = 3
+	kindQueryPrimary  byte = 4
+	kindPrimaryIs     byte = 5
+	kindCheckpoint    byte = 6
+	kindRecoveryQuery byte = 7
+	kindRecoveryState byte = 8
 )
 
 // Announce advertises one replica's endpoint and object references. Each
@@ -61,10 +63,34 @@ type PrimaryIs struct {
 }
 
 // Checkpoint carries warm-passive state from the primary to the backups.
+// Data, when non-empty, is the durable snapshot payload (encoded by
+// internal/durable; opaque to ftmgr) that lets backups persist received
+// state; Seq alone is the legacy in-memory counter transfer.
 type Checkpoint struct {
 	From string
 	Seq  uint64
 	Data []byte
+}
+
+// RecoveryQuery is the VSR-style status message a restarting replica
+// multicasts to the group after replaying its local log: "my state reaches
+// OpNumber; send me anything newer." Nonce ties answers to this
+// incarnation's query so stale responses addressed to an earlier
+// incarnation are discarded (the SNIPPETS.md RecoveryProtocol exemplar).
+type RecoveryQuery struct {
+	From     string
+	OpNumber uint64
+	Nonce    uint64
+}
+
+// RecoveryState answers a RecoveryQuery with a private message: the
+// responder's current durable snapshot payload (opaque to ftmgr;
+// internal/durable owns the encoding). The recovering replica merges every
+// answer forward-only, so responses from multiple members are safe.
+type RecoveryState struct {
+	From  string
+	Nonce uint64
+	Data  []byte
 }
 
 func encodeAnnounceBody(e *cdr.Encoder, a Announce) {
@@ -157,8 +183,29 @@ func EncodeCheckpoint(c Checkpoint) []byte {
 	return e.Bytes()
 }
 
+// EncodeRecoveryQuery renders a recovery status-query payload.
+func EncodeRecoveryQuery(q RecoveryQuery) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(kindRecoveryQuery)
+	e.WriteString(q.From)
+	e.WriteULongLong(q.OpNumber)
+	e.WriteULongLong(q.Nonce)
+	return e.Bytes()
+}
+
+// EncodeRecoveryState renders a recovery-handshake answer payload.
+func EncodeRecoveryState(s RecoveryState) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(kindRecoveryState)
+	e.WriteString(s.From)
+	e.WriteULongLong(s.Nonce)
+	e.WriteOctets(s.Data)
+	return e.Bytes()
+}
+
 // DecodeMessage parses any fault-tolerance message payload, returning one
-// of Announce, SyncList, Notice, QueryPrimary, PrimaryIs, or Checkpoint.
+// of Announce, SyncList, Notice, QueryPrimary, PrimaryIs, Checkpoint,
+// RecoveryQuery, or RecoveryState.
 func DecodeMessage(payload []byte) (interface{}, error) {
 	d := cdr.NewDecoder(payload, cdr.BigEndian)
 	kind, err := d.ReadOctet()
@@ -223,6 +270,30 @@ func DecodeMessage(payload []byte) (interface{}, error) {
 			return nil, err
 		}
 		return c, nil
+	case kindRecoveryQuery:
+		var q RecoveryQuery
+		if q.From, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if q.OpNumber, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if q.Nonce, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		return q, nil
+	case kindRecoveryState:
+		var s RecoveryState
+		if s.From, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if s.Nonce, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if s.Data, err = d.ReadOctets(); err != nil {
+			return nil, err
+		}
+		return s, nil
 	default:
 		return nil, fmt.Errorf("ftmgr: unknown message kind %d", kind)
 	}

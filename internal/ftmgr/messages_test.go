@@ -98,3 +98,23 @@ func TestDecodeMessageErrors(t *testing.T) {
 		t.Fatal("truncated announce decoded")
 	}
 }
+
+func TestRecoveryHandshakeRoundTrip(t *testing.T) {
+	q := RecoveryQuery{From: "r2", OpNumber: 1 << 40, Nonce: 77}
+	msg, err := DecodeMessage(EncodeRecoveryQuery(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := msg.(RecoveryQuery); !ok || got != q {
+		t.Fatalf("recovery query = %+v", msg)
+	}
+	s := RecoveryState{From: "r1", Nonce: 77, Data: []byte{9, 8, 7}}
+	msg, err = DecodeMessage(EncodeRecoveryState(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msg.(RecoveryState)
+	if !ok || got.From != "r1" || got.Nonce != 77 || !bytes.Equal(got.Data, s.Data) {
+		t.Fatalf("recovery state = %+v", msg)
+	}
+}

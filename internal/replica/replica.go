@@ -9,11 +9,14 @@ package replica
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mead/internal/cdr"
+	"mead/internal/durable"
 	"mead/internal/faultinject"
 	"mead/internal/ftmgr"
 	"mead/internal/gcs"
@@ -54,6 +57,10 @@ func (r ExitReason) String() string {
 
 // DefaultCheckpointEvery is the warm-passive state-transfer period.
 const DefaultCheckpointEvery = 50 * time.Millisecond
+
+// DefaultDurableCheckpointBytes is the log-growth threshold that triggers an
+// incremental durable checkpoint (snapshot + log-suffix truncation).
+const DefaultDurableCheckpointBytes = 32 << 10
 
 // ObjectName is the single application object each replica hosts.
 const ObjectName = "clock"
@@ -107,6 +114,20 @@ type ServiceConfig struct {
 	// connections per client after a recovery event; sharding keeps
 	// connection admission off the critical path of that storm.
 	AcceptLoops int
+	// StateDir, when non-empty, enables the durable-state subsystem: each
+	// replica persists an append-only op log plus incremental checkpoints
+	// under StateDir/<replica-name> and runs the recovery handshake
+	// (replay local log, then fetch the delta from live group members) on
+	// startup. Empty keeps the purely in-memory warm-passive behaviour.
+	StateDir string
+	// DurableCheckpointBytes triggers a durable checkpoint once this many
+	// log bytes accumulate since the last one (default 32 KiB). Only
+	// meaningful with StateDir.
+	DurableCheckpointBytes int64
+	// DurableFaults, when non-nil, injects deterministic durable-I/O
+	// faults (torn/short writes, fsync errors) into every replica store
+	// sharing this config — the chaos harness's disk-damage hook.
+	DurableFaults *durable.FaultInjector
 	// Logf, if set, receives progress lines.
 	Logf func(format string, args ...interface{})
 	// Telemetry, when set, is threaded into the server ORB (dispatch
@@ -138,6 +159,10 @@ type Replica struct {
 	mgr      *ftmgr.Manager
 	srv      *orb.ServerORB
 	state    *clockState
+
+	store         *durable.Store
+	clientIDs     *cdr.Interner
+	recoveryNonce uint64
 
 	requests atomic.Int64
 
@@ -187,6 +212,14 @@ func (r *Replica) StateCounter() uint64 {
 	return r.state.Counter()
 }
 
+// OpNumber returns the replica's durable op number (0 when not durable).
+func (r *Replica) OpNumber() uint64 {
+	if r.state == nil {
+		return 0
+	}
+	return r.state.OpNumber()
+}
+
 // Budget exposes the replica's resource budget (tests and examples).
 func (r *Replica) Budget() *resource.Budget { return r.budget }
 
@@ -217,7 +250,34 @@ func (r *Replica) Start() error {
 		r.injector.Instrument(r.cfg.Telemetry)
 	}
 
+	// Durable recovery happens before the replica is reachable: replay the
+	// local checkpoint + log, so the handshake below only needs the delta.
+	r.state = &clockState{replica: r.name, tel: r.cfg.Telemetry}
+	r.clientIDs = cdr.NewInterner(1024)
+	if r.cfg.StateDir != "" {
+		store, res, derr := durable.Open(durable.Config{
+			Dir:     filepath.Join(r.cfg.StateDir, r.name),
+			Replica: r.name,
+			Faults:  r.cfg.DurableFaults,
+			Logf:    r.cfg.Logf,
+		})
+		if derr != nil {
+			return fmt.Errorf("replica %s: %w", r.name, derr)
+		}
+		r.store = store
+		r.cfg.Telemetry.RecoveryStarted(r.name, int64(res.Snap.OpNumber)-int64(res.Replayed))
+		r.state.restore(res.Snap)
+		r.state.store = store
+		r.cfg.Telemetry.LogReplayed(r.name, int64(res.Replayed), res.Truncated)
+		r.logf("replica %s: durable recovery: checkpoint=%v damaged=%v replayed=%d truncated=%v op=%d counter=%d",
+			r.name, res.CheckpointLoaded, res.CheckpointDamaged, res.Replayed, res.Truncated,
+			res.Snap.OpNumber, res.Snap.Counter)
+	}
+
 	if r.member, err = gcs.Dial(r.cfg.HubAddr, r.name); err != nil {
+		if r.store != nil {
+			r.store.Close()
+		}
 		return fmt.Errorf("replica %s: %w", r.name, err)
 	}
 
@@ -257,13 +317,13 @@ func (r *Replica) Start() error {
 			r.logf("replica %s: migrate threshold crossed, handing clients off", r.name)
 			go r.maybeRejuvenate()
 		},
+		RecoverySnapshot: r.recoverySnapshot(),
 	})
 	if err != nil {
 		r.cleanupPartial()
 		return fmt.Errorf("replica %s: %w", r.name, err)
 	}
 
-	r.state = &clockState{}
 	r.srv = orb.NewServer(
 		orb.WithServerConnWrapper(r.mgr.WrapServerConn),
 		orb.WithServerTelemetry(r.cfg.Telemetry),
@@ -328,6 +388,19 @@ func (r *Replica) Start() error {
 		r.cleanupPartial()
 		return fmt.Errorf("replica %s: %w", r.name, err)
 	}
+	if r.store != nil {
+		// Recovery handshake, VSR-style: having replayed the local log,
+		// multicast a status query naming the reached op number; live
+		// members answer privately with their snapshots and deliveryLoop
+		// merges anything newer (nonce-guarded against stale answers to an
+		// earlier incarnation).
+		r.recoveryNonce = recoveryNonces.Add(1)
+		q := ftmgr.RecoveryQuery{From: r.name, OpNumber: r.state.OpNumber(), Nonce: r.recoveryNonce}
+		if err := r.member.Multicast(r.cfg.Group(), ftmgr.EncodeRecoveryQuery(q)); err != nil {
+			r.cleanupPartial()
+			return fmt.Errorf("replica %s: %w", r.name, err)
+		}
+	}
 
 	r.loopWG.Add(2)
 	go func() {
@@ -359,6 +432,23 @@ func (r *Replica) cleanupPartial() {
 	if r.injector != nil {
 		r.injector.Stop()
 	}
+	if r.store != nil {
+		r.store.Close()
+	}
+}
+
+// recoveryNonces distinguishes recovery-handshake incarnations within one
+// process (each restart queries with a fresh nonce).
+var recoveryNonces atomic.Uint64
+
+// recoverySnapshot returns the ftmgr callback answering RecoveryQuery
+// messages, or nil when the replica keeps no durable state (in-memory
+// replicas leave recovery to the warm-passive checkpoint stream).
+func (r *Replica) recoverySnapshot() func() []byte {
+	if r.cfg.StateDir == "" {
+		return nil
+	}
+	return func() []byte { return durable.EncodeSnapshot(r.state.snapshot()) }
 }
 
 // Crash terminates the replica abruptly (process-crash semantics).
@@ -390,6 +480,13 @@ func (r *Replica) exit(reason ExitReason) {
 			_ = r.member.Close()
 		}
 		r.loopWG.Wait()
+		if r.store != nil {
+			// Orderly close: drain and flush the writer queue so the log is
+			// complete on disk. Genuine crash-tail loss is modeled
+			// explicitly by the durable fault injector, keeping kill-all
+			// recovery tests deterministic instead of racing the writer.
+			r.store.Close()
+		}
 		close(r.done)
 	})
 }
@@ -400,36 +497,109 @@ func (r *Replica) logf(format string, args ...interface{}) {
 	}
 }
 
-// deliveryLoop pumps GCS events into the FT manager and applies incoming
-// state checkpoints.
+// deliveryLoop pumps GCS events into the FT manager, applies incoming
+// state checkpoints, and merges recovery-handshake answers.
 func (r *Replica) deliveryLoop() {
+	viewSize := 0
 	for d := range r.member.Deliveries() {
 		r.mgr.HandleDelivery(d)
-		if d.Kind != gcs.DeliverData {
+		if d.Kind == gcs.DeliverView {
+			// Re-issue the recovery query when the view grows: a replica
+			// that cold-restarted before its peers (the whole-group
+			// disaster) queried an empty group, and the joiners may hold
+			// newer checkpoints than its own log tail. The nonce is
+			// unchanged — answers merge forward-only, so re-asking is
+			// idempotent.
+			grew := len(d.View.Members) > viewSize
+			viewSize = len(d.View.Members)
+			if grew && r.store != nil {
+				q := ftmgr.RecoveryQuery{From: r.name, OpNumber: r.state.OpNumber(), Nonce: r.recoveryNonce}
+				_ = r.member.Multicast(r.cfg.Group(), ftmgr.EncodeRecoveryQuery(q))
+			}
+		}
+		if d.Kind != gcs.DeliverData && d.Kind != gcs.DeliverPrivate {
 			continue
 		}
 		msg, err := ftmgr.DecodeMessage(d.Payload)
 		if err != nil {
 			continue
 		}
-		if cp, ok := msg.(ftmgr.Checkpoint); ok && cp.From != r.name {
-			r.state.applyCheckpoint(cp.Seq)
+		switch v := msg.(type) {
+		case ftmgr.Checkpoint:
+			if v.From == r.name {
+				continue
+			}
+			if len(v.Data) > 0 {
+				// Durable checkpoint stream: merge the full snapshot
+				// (counter + dedup table) and persist it, so a backup that
+				// later cold-restarts recovers the state it was mirroring.
+				if snap, derr := durable.DecodeSnapshot(v.Data); derr == nil {
+					if r.state.applySnapshot(snap) && r.store != nil {
+						r.store.Checkpoint(r.state.snapshot())
+						r.cfg.Telemetry.CheckpointPersisted(r.name)
+					}
+				}
+			} else {
+				r.state.applyCheckpoint(v.Seq)
+			}
+		case ftmgr.RecoveryState:
+			r.handleRecoveryState(v)
 		}
 	}
 }
 
+// handleRecoveryState merges one recovery-handshake answer: the delta fetch
+// completing the status → replay → fetch sequence. Stale answers (wrong
+// nonce: addressed to an earlier incarnation of this replica name) are
+// dropped; merges are forward-only, so answers from several members are
+// safe in any order.
+func (r *Replica) handleRecoveryState(rs ftmgr.RecoveryState) {
+	if r.store == nil || rs.Nonce != r.recoveryNonce || rs.From == r.name {
+		return
+	}
+	snap, err := durable.DecodeSnapshot(rs.Data)
+	if err != nil {
+		return
+	}
+	if r.state.applySnapshot(snap) {
+		merged := r.state.snapshot()
+		r.store.Checkpoint(merged)
+		r.cfg.Telemetry.CheckpointPersisted(r.name)
+		r.cfg.Telemetry.StateFetched(r.name, int64(merged.OpNumber))
+		r.logf("replica %s: recovery fetched state from %s (op=%d counter=%d)",
+			r.name, rs.From, merged.OpNumber, merged.Counter)
+	}
+}
+
 // checkpointLoop periodically transfers the primary's state to the backups
-// (warm passive replication).
+// (warm passive replication) and, in durable mode, writes incremental
+// durable checkpoints whenever the op log has grown past the threshold.
 func (r *Replica) checkpointLoop() {
 	ticker := time.NewTicker(r.cfg.CheckpointEvery)
 	defer ticker.Stop()
+	threshold := r.cfg.DurableCheckpointBytes
+	if threshold <= 0 {
+		threshold = DefaultDurableCheckpointBytes
+	}
 	for {
 		select {
 		case <-ticker.C:
+			if r.store != nil && r.store.LogBytes() >= threshold {
+				// Incremental checkpoint: snapshot the state, let the
+				// writer persist it and truncate the covered log suffix.
+				r.store.Checkpoint(r.state.snapshot())
+				r.cfg.Telemetry.CheckpointPersisted(r.name)
+			}
 			if !r.mgr.IsPrimary() {
 				continue
 			}
 			cp := ftmgr.Checkpoint{From: r.name, Seq: r.state.Counter()}
+			if r.store != nil {
+				// Durable mode ships the full snapshot (counter + dedup
+				// table) so backups can persist what they mirror and
+				// at-most-once survives fail-over.
+				cp.Data = durable.EncodeSnapshot(r.state.snapshot())
+			}
 			if err := r.member.Multicast(r.cfg.Group(), ftmgr.EncodeCheckpoint(cp)); err != nil {
 				return
 			}
@@ -465,7 +635,30 @@ func (r *Replica) servant() orb.Servant {
 			if r.reqLeak != nil {
 				r.reqLeak.OnRequest()
 			}
-			count := r.state.increment()
+			// Optional at-most-once identity (client id + invocation seq).
+			// Anonymous requests (no args) always execute; identified
+			// retransmissions of an already-executed seq are answered from
+			// the dedup table without re-executing. The id is interned so
+			// the steady-state decode stays allocation-free.
+			var client string
+			var seq uint64
+			if args != nil && args.Remaining() > 0 {
+				c, err := args.ReadStringIntern(r.clientIDs)
+				if err != nil {
+					return &giop.SystemException{RepoID: giop.RepoBadOperation, Completed: giop.CompletedNo}
+				}
+				s, err := args.ReadULongLong()
+				if err != nil {
+					return &giop.SystemException{RepoID: giop.RepoBadOperation, Completed: giop.CompletedNo}
+				}
+				client, seq = c, s
+			}
+			count, dup := r.state.exec(client, seq)
+			if dup {
+				r.cfg.Telemetry.DupSuppressed()
+			} else if r.store != nil {
+				r.cfg.Telemetry.OpLogged()
+			}
 			result.WriteLongLong(time.Now().UnixNano())
 			result.WriteULongLong(count)
 			result.WriteString(r.name)
@@ -480,17 +673,51 @@ func (r *Replica) servant() orb.Servant {
 }
 
 // clockState is the replicated application state: a monotonic invocation
-// counter carried by warm-passive checkpoints.
+// counter carried by warm-passive checkpoints, plus (in durable mode) the
+// VSR-style op number and the at-most-once dedup table, both persisted via
+// the attached store.
 type clockState struct {
-	mu      sync.Mutex
-	counter uint64
+	mu       sync.Mutex
+	counter  uint64
+	opNumber uint64
+	dedup    map[string]durable.DedupEntry
+	store    *durable.Store // nil: in-memory only
+	replica  string
+	tel      *telemetry.Telemetry
 }
 
-func (s *clockState) increment() uint64 {
+// exec runs one application operation under the at-most-once contract.
+// client=="" is anonymous: always executes. An identified request executes
+// only if seq advances past the client's dedup entry; otherwise the cached
+// counter is returned (dup=true) and nothing is logged — a retransmission
+// observed after the original already executed. Log appends happen inside
+// the lock, so queue order matches execution order (the store's
+// checkpoint-truncation contract).
+func (s *clockState) exec(client string, seq uint64) (count uint64, dup bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if client != "" {
+		if e, ok := s.dedup[client]; ok && seq <= e.Seq {
+			return e.Counter, true
+		}
+	}
 	s.counter++
-	return s.counter
+	s.opNumber++
+	if client != "" {
+		if s.dedup == nil {
+			s.dedup = make(map[string]durable.DedupEntry)
+		}
+		s.dedup[client] = durable.DedupEntry{Client: client, Seq: seq, Counter: s.counter}
+	}
+	if s.store != nil {
+		s.store.Append(durable.Op{
+			OpNumber:  s.opNumber,
+			Counter:   s.counter,
+			Client:    client,
+			ClientSeq: seq,
+		})
+	}
+	return s.counter, false
 }
 
 // Counter returns the current state value.
@@ -500,11 +727,74 @@ func (s *clockState) Counter() uint64 {
 	return s.counter
 }
 
-// applyCheckpoint merges a checkpoint: state only moves forward.
+// OpNumber returns the last executed (or merged) op number.
+func (s *clockState) OpNumber() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opNumber
+}
+
+// restore seeds the state from a recovered snapshot (before serving).
+func (s *clockState) restore(snap durable.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counter = snap.Counter
+	s.opNumber = snap.OpNumber
+	s.dedup = nil
+	for _, e := range snap.Dedup {
+		if s.dedup == nil {
+			s.dedup = make(map[string]durable.DedupEntry, len(snap.Dedup))
+		}
+		s.dedup[e.Client] = e
+	}
+}
+
+// snapshot renders the current state as a checkpointable snapshot (dedup
+// entries in canonical client order).
+func (s *clockState) snapshot() durable.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := durable.Snapshot{OpNumber: s.opNumber, Counter: s.counter}
+	if len(s.dedup) > 0 {
+		snap.Dedup = make([]durable.DedupEntry, 0, len(s.dedup))
+		for _, e := range s.dedup {
+			snap.Dedup = append(snap.Dedup, e)
+		}
+		sort.Slice(snap.Dedup, func(i, j int) bool { return snap.Dedup[i].Client < snap.Dedup[j].Client })
+	}
+	return snap
+}
+
+// applyCheckpoint merges a legacy counter-only checkpoint: state only moves
+// forward.
 func (s *clockState) applyCheckpoint(seq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if seq > s.counter {
 		s.counter = seq
 	}
+}
+
+// applySnapshot merges a full snapshot forward-only and reports whether the
+// op number (the persistence trigger) advanced. Dedup rows merge per client
+// on the highest seq, so answers and checkpoints apply safely in any order.
+func (s *clockState) applySnapshot(snap durable.Snapshot) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	advanced := snap.OpNumber > s.opNumber
+	if advanced {
+		s.opNumber = snap.OpNumber
+	}
+	if snap.Counter > s.counter {
+		s.counter = snap.Counter
+	}
+	for _, e := range snap.Dedup {
+		if cur, ok := s.dedup[e.Client]; !ok || e.Seq > cur.Seq {
+			if s.dedup == nil {
+				s.dedup = make(map[string]durable.DedupEntry, len(snap.Dedup))
+			}
+			s.dedup[e.Client] = e
+		}
+	}
+	return advanced
 }

@@ -48,6 +48,11 @@ var counterDescs = []counterDesc{
 	{"mead_multicasts_total", "GCS payload deliveries to members.", func(t *Telemetry) *Counter { return &t.Multicasts }},
 	{"mead_view_changes_total", "GCS view changes emitted.", func(t *Telemetry) *Counter { return &t.ViewChanges }},
 	{"mead_name_ops_total", "Naming-service operations served.", func(t *Telemetry) *Counter { return &t.NameOps }},
+	{"mead_ops_logged_total", "Op records appended to the durable log.", func(t *Telemetry) *Counter { return &t.OpsLogged }},
+	{"mead_ops_replayed_total", "Log records replayed during durable recovery.", func(t *Telemetry) *Counter { return &t.OpsReplayed }},
+	{"mead_dups_suppressed_total", "Retransmissions answered from the at-most-once dedup table.", func(t *Telemetry) *Counter { return &t.DupsSuppressed }},
+	{"mead_checkpoints_persisted_total", "Durable checkpoints written.", func(t *Telemetry) *Counter { return &t.CheckpointsPersisted }},
+	{"mead_log_truncations_total", "Damaged durable-log tails truncated at recovery.", func(t *Telemetry) *Counter { return &t.LogTruncations }},
 }
 
 var gaugeDescs = []gaugeDesc{

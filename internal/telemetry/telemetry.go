@@ -43,6 +43,13 @@ type Telemetry struct {
 	ViewChanges        Counter // GCS view changes emitted
 	NameOps            Counter // naming-service operations served
 
+	// Durable-state subsystem (internal/durable + recovery handshake).
+	OpsLogged            Counter // op records appended to the durable log
+	OpsReplayed          Counter // log records replayed during recovery
+	DupsSuppressed       Counter // retransmissions answered from the dedup table
+	CheckpointsPersisted Counter // durable checkpoints written (incl. backups)
+	LogTruncations       Counter // damaged log tails truncated at recovery
+
 	// Resource-leak progression (faultinject).
 	LeakBytes    Gauge // bytes currently consumed by the injected leak
 	LeakCapacity Gauge // budget capacity the leak runs against
@@ -252,6 +259,69 @@ func (t *Telemetry) Relaunched(replica string) {
 	}
 	_ = replica
 	t.Relaunches.Inc()
+}
+
+// --- Durable-state instrumentation ---
+
+// OpLogged records one op record handed to the durable log (hot path:
+// counter only, no trace event).
+func (t *Telemetry) OpLogged() {
+	if t == nil {
+		return
+	}
+	t.OpsLogged.Inc()
+}
+
+// DupSuppressed records one retransmission answered from the at-most-once
+// dedup table instead of re-executing (hot path: counter only).
+func (t *Telemetry) DupSuppressed() {
+	if t == nil {
+		return
+	}
+	t.DupsSuppressed.Inc()
+}
+
+// RecoveryStarted records the named replica beginning durable recovery,
+// with the checkpoint's op number (before log replay) as the value.
+func (t *Telemetry) RecoveryStarted(replica string, checkpointOp int64) {
+	if t == nil {
+		return
+	}
+	t.event(EvRecoveryStarted, replica, "", checkpointOp)
+}
+
+// LogReplayed records the named replica finishing local log replay: n
+// records applied, and whether a damaged tail was truncated along the way.
+func (t *Telemetry) LogReplayed(replica string, n int64, truncated bool) {
+	if t == nil {
+		return
+	}
+	if n > 0 {
+		t.OpsReplayed.Add(uint64(n))
+	}
+	if truncated {
+		t.LogTruncations.Inc()
+	}
+	t.event(EvLogReplayed, replica, "", n)
+}
+
+// StateFetched records the recovery handshake merging a newer snapshot into
+// the named replica, with the merged op number as the value.
+func (t *Telemetry) StateFetched(replica string, opNumber int64) {
+	if t == nil {
+		return
+	}
+	t.event(EvStateFetched, replica, "", opNumber)
+}
+
+// CheckpointPersisted records one durable checkpoint written by the named
+// replica (counter only; routine, not a recovery event).
+func (t *Telemetry) CheckpointPersisted(replica string) {
+	if t == nil {
+		return
+	}
+	_ = replica
+	t.CheckpointsPersisted.Inc()
 }
 
 // LeakSample records the injected leak's current level against its budget.

@@ -41,6 +41,15 @@ const (
 	// EvReplicaKilled: the Recovery Manager observed a replica's
 	// departure from the group (crash or rejuvenation).
 	EvReplicaKilled
+	// EvRecoveryStarted: a restarting replica began durable recovery
+	// (Value holds the checkpoint's op number, before log replay).
+	EvRecoveryStarted
+	// EvLogReplayed: the replica finished replaying its local op log
+	// (Value holds the number of records applied).
+	EvLogReplayed
+	// EvStateFetched: the recovery handshake merged a newer snapshot from
+	// a live group member (Value holds the merged op number).
+	EvStateFetched
 )
 
 var eventKindNames = [...]string{
@@ -53,6 +62,9 @@ var eventKindNames = [...]string{
 	EvConnSwapped:      "conn-swapped",
 	EvThresholdCrossed: "threshold-crossed",
 	EvReplicaKilled:    "replica-killed",
+	EvRecoveryStarted:  "recovery-started",
+	EvLogReplayed:      "log-replayed",
+	EvStateFetched:     "state-fetched",
 }
 
 func (k EventKind) String() string {

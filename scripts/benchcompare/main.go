@@ -8,10 +8,15 @@
 // Rules, per (name, cpu) pair present in the baseline:
 //   - missing from the fresh run: fail (a silently dropped bench is a
 //     coverage regression, not a pass);
-//   - ns/op more than 15% above baseline: fail (an absolute 25ns floor
-//     keeps sub-noise micro-benches from flapping);
+//   - ns/op over baseline by more than the slack: fail. Micro-benches
+//     (in-memory encode/decode) get 15% with an absolute 25ns floor; the
+//     macro invocation benches — full TCP round trips whose wall clock
+//     swings ~35% run-to-run even on an idle host — get 60%, which still
+//     catches any structural regression (an added syscall, a lost batching
+//     path) while staying above scheduler noise;
 //   - allocs/op: strict for near-zero baselines (≤2 allocs — the wire-path
-//     guards — any increase fails); above that, the same 15% rule.
+//     guards — any increase fails); above that, the 15% rule. Alloc counts
+//     are noise-free, so they stay tight even where ns/op cannot.
 //
 // Benchmarks only present in the fresh run are reported but never fail:
 // adding coverage is not a regression.
@@ -21,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 type entry struct {
@@ -37,10 +43,20 @@ type snapshot struct {
 }
 
 const (
-	nsSlackFraction = 0.15 // >15% ns/op over baseline fails
+	nsSlackFraction = 0.15 // micro-bench gate: >15% ns/op over baseline fails
+	nsSlackMacro    = 0.60 // macro (TCP round-trip) gate: wall clock is noisy
 	nsSlackFloorNs  = 25.0 // ignore sub-25ns swings outright
 	strictAllocsMax = 2    // baselines at or under this gate allocs exactly
 )
+
+// nsSlack picks the ns/op gate for one benchmark: the invocation benches
+// measure whole TCP round trips and inherit the host scheduler's jitter.
+func nsSlack(name string) float64 {
+	if strings.Contains(name, "Invocations") || strings.Contains(name, "Invoke") {
+		return nsSlackMacro
+	}
+	return nsSlackFraction
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -79,9 +95,10 @@ func run(args []string) error {
 		}
 		status := "ok  "
 		var notes []string
-		if over := now.NsPerOp - old.NsPerOp; over > nsSlackFloorNs && now.NsPerOp > old.NsPerOp*(1+nsSlackFraction) {
+		slack := nsSlack(old.Name)
+		if over := now.NsPerOp - old.NsPerOp; over > nsSlackFloorNs && now.NsPerOp > old.NsPerOp*(1+slack) {
 			status = "FAIL"
-			notes = append(notes, fmt.Sprintf("ns/op +%.1f%% over the 15%% gate", 100*(now.NsPerOp/old.NsPerOp-1)))
+			notes = append(notes, fmt.Sprintf("ns/op +%.1f%% over the %.0f%% gate", 100*(now.NsPerOp/old.NsPerOp-1), 100*slack))
 		}
 		switch {
 		case old.AllocsPerOp <= strictAllocsMax && now.AllocsPerOp > old.AllocsPerOp:

@@ -8,15 +8,20 @@
 //
 // becomes one entry keyed by (name, cpu), where cpu is the trailing
 // `-N` GOMAXPROCS suffix (absent means 1). Across repeated runs
-// (-count=3) the minimum ns/op is kept — the least-noise estimate — while
-// bytes/op and allocs/op keep their maxima, so the committed snapshot is
-// conservative for the allocation gate. Output is sorted and contains no
-// timestamps, keeping the committed file diff-stable.
+// (-count=3) the ns/op kept per bench is selected by -keep: "min" (the
+// default, the least-noise estimate for a fresh gate run) or "max" (the
+// slowest estimate, used when writing the committed baseline so the 15%
+// regression margin absorbs scheduler noise between machines instead of
+// being consumed by a lucky baseline run). Bytes/op and allocs/op always
+// keep their maxima, so the snapshot is conservative for the allocation
+// gate either way. Output is sorted and contains no timestamps, keeping
+// the committed file diff-stable.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -49,6 +54,13 @@ func main() {
 }
 
 func run() error {
+	keep := flag.String("keep", "min", "which ns/op estimate to keep across repeated runs: min (fresh gate runs) or max (committed baselines)")
+	flag.Parse()
+	if *keep != "min" && *keep != "max" {
+		return fmt.Errorf("-keep must be min or max, got %q", *keep)
+	}
+	keepMax := *keep == "max"
+
 	best := map[string]Entry{}
 	var goline string
 	sc := bufio.NewScanner(os.Stdin)
@@ -69,7 +81,7 @@ func run() error {
 			best[k] = e
 			continue
 		}
-		if e.NsPerOp < prev.NsPerOp {
+		if keepMax == (e.NsPerOp > prev.NsPerOp) && e.NsPerOp != prev.NsPerOp {
 			prev.NsPerOp = e.NsPerOp
 			prev.Iters = e.Iters
 		}
